@@ -1,0 +1,54 @@
+// Command anml2dot converts an ANML automaton (or a compiled regex) into
+// Graphviz DOT for visualization:
+//
+//	anml2dot -anml fig2.anml > fig2.dot
+//	anml2dot -regex 'a((bc)|(cd)+)f' | dot -Tpng > fig2.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparseap"
+	"sparseap/internal/anml"
+)
+
+func main() {
+	var (
+		anmlPath = flag.String("anml", "", "ANML file to convert")
+		regex    = flag.String("regex", "", "regex to compile and convert")
+		name     = flag.String("name", "automaton", "graph name")
+	)
+	flag.Parse()
+
+	var (
+		net *sparseap.Network
+		err error
+	)
+	switch {
+	case *anmlPath != "":
+		f, ferr := os.Open(*anmlPath)
+		if ferr != nil {
+			fail(ferr)
+		}
+		net, err = sparseap.ReadANML(f)
+		f.Close()
+	case *regex != "":
+		net, err = sparseap.CompileRegex([]string{*regex})
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if err := anml.WriteDOT(os.Stdout, net, *name); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command apbench regenerates every table and figure of the paper's
+// evaluation (Section VII) on the synthesized 26-application suite.
+//
+// Usage:
+//
+//	apbench [-exp all|table2,fig1,fig5,table1,fig8,fig10,fig11,fig12,table4,fig13,ablation] \
+//	        [-divisor 8] [-input 131072] [-capacity 3000] [-seed 1]
+//
+// The defaults run the 1/8-scaled configuration described in DESIGN.md:
+// 24K-STE half-core → 3K, 1 MiB input → 128 KiB, Table II NFA counts ÷ 8.
+// Use -divisor 1 -input 1048576 -capacity 24000 for a full-size run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sparseap/internal/ap"
+	"sparseap/internal/exp"
+	"sparseap/internal/workloads"
+)
+
+type experiment struct {
+	name string
+	run  func(*exp.Suite) (interface{ Render() string }, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table2", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Table2(s) }},
+		{"fig1", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Fig1(s) }},
+		{"fig5", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Fig5(s) }},
+		{"table1", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Table1(s) }},
+		{"fig8", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Fig8(s) }},
+		{"fig10", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Fig10(s) }},
+		{"fig11", func(s *exp.Suite) (interface{ Render() string }, error) {
+			c := s.AP.Capacity
+			return exp.Fig11(s, []int{c / 4, c / 2, c, c * 49 / 24})
+		}},
+		{"fig12", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Fig12(s) }},
+		{"table4", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Table4(s) }},
+		{"fig13", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Fig13(s) }},
+		{"ablation", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Ablation(s) }},
+		{"sensitivity", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Sensitivity(s) }},
+	}
+}
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiments, or 'all'")
+		divisor  = flag.Int("divisor", 8, "scale divisor vs the paper's Table II")
+		inputLen = flag.Int("input", 131072, "input stream length in bytes")
+		capacity = flag.Int("capacity", 3000, "AP half-core capacity in STEs")
+		seed     = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	wl := workloads.Config{InputLen: *inputLen, Divisor: *divisor, Seed: *seed}
+	apCfg := ap.DefaultConfig().WithCapacity(*capacity)
+	suite := exp.NewSuite(wl, apCfg)
+
+	wanted := map[string]bool{}
+	all := *expFlag == "all"
+	for _, n := range strings.Split(*expFlag, ",") {
+		wanted[strings.TrimSpace(n)] = true
+	}
+	fmt.Printf("sparseap benchmark harness: divisor=%d input=%d capacity=%d seed=%d\n\n",
+		*divisor, *inputLen, *capacity, *seed)
+	ran := 0
+	for _, e := range experiments() {
+		if !all && !wanted[e.name] {
+			continue
+		}
+		start := time.Now()
+		res, err := e.run(suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", e.name, time.Since(start).Seconds(), res.Render())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched %q\n", *expFlag)
+		os.Exit(2)
+	}
+}

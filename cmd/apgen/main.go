@@ -1,0 +1,73 @@
+// Command apgen materializes the generated benchmark suite as ANML files
+// plus raw input streams, so the workloads can be fed to other automata
+// tools (VASim, MNCaRT, hardware compilers).
+//
+//	apgen -app Snort -o out/            # one application
+//	apgen -all -o out/                  # all 26
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sparseap/internal/anml"
+	"sparseap/internal/workloads"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "", "application abbreviation")
+		all      = flag.Bool("all", false, "emit every application")
+		outDir   = flag.String("o", ".", "output directory")
+		divisor  = flag.Int("divisor", 8, "scale divisor")
+		inputLen = flag.Int("input", 131072, "input length")
+		seed     = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+	cfg := workloads.Config{Divisor: *divisor, InputLen: *inputLen, Seed: *seed}
+
+	var names []string
+	switch {
+	case *all:
+		names = workloads.Names()
+	case *appName != "":
+		names = []string{*appName}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	for _, name := range names {
+		app, err := workloads.Build(name, cfg)
+		if err != nil {
+			fail(err)
+		}
+		anmlPath := filepath.Join(*outDir, name+".anml")
+		f, err := os.Create(anmlPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := anml.Write(f, app.Net, app.Name); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		inPath := filepath.Join(*outDir, name+".input")
+		if err := os.WriteFile(inPath, app.Input, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: %d states -> %s, %d bytes -> %s\n",
+			name, app.Net.Len(), anmlPath, len(app.Input), inPath)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

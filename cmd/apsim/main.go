@@ -1,0 +1,161 @@
+// Command apsim runs one automata application under the paper's three
+// execution systems (Table III) and prints cycle and report statistics.
+//
+// The application comes either from the built-in workload suite (-app) or
+// from an ANML file plus an input file (-anml/-in):
+//
+//	apsim -app Snort                          # generated suite app
+//	apsim -anml rules.anml -in traffic.bin    # user-provided automaton
+//
+// Flags select the system (-system ap|apcpu|spap|all), the profiling
+// fraction (-profile 0.01) and the half-core capacity (-capacity 3000).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"sparseap"
+	"sparseap/internal/sim"
+	"sparseap/internal/workloads"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "", "built-in application abbreviation (see apstat -list)")
+		anmlPath = flag.String("anml", "", "ANML automaton file")
+		inPath   = flag.String("in", "", "input stream file (with -anml)")
+		system   = flag.String("system", "all", "execution system: ap, apcpu, spap, or all")
+		profile  = flag.Float64("profile", 0.01, "profiling input fraction")
+		capacity = flag.Int("capacity", 3000, "AP half-core capacity in STEs")
+		divisor  = flag.Int("divisor", 8, "workload scale divisor (with -app)")
+		inputLen = flag.Int("input", 131072, "generated input length (with -app)")
+		seed     = flag.Int64("seed", 1, "generation seed (with -app)")
+		trace    = flag.String("trace", "", "write a per-cycle frontier-size CSV to this file")
+	)
+	flag.Parse()
+
+	net, input, err := load(*appName, *anmlPath, *inPath, *divisor, *inputLen, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	a := sparseap.Analyze(net, input)
+	fmt.Printf("application: %d states, %d NFAs, max topo %d, %d reporting states\n",
+		a.States, a.NFAs, a.MaxTopo, a.Reporting)
+	fmt.Printf("hot states under this input: %d (%.1f%%)\n\n", a.Hot, 100*a.HotFrac)
+
+	if *trace != "" {
+		if err := writeTrace(*trace, net, input); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("frontier trace written to %s\n\n", *trace)
+	}
+
+	eng := sparseap.NewEngine(sparseap.DefaultAPConfig().WithCapacity(*capacity))
+	base, err := eng.RunBaseline(net, input)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("baseline AP:   %d batches, %d cycles, %d reports, %.3f ms\n",
+		base.Batches, base.Cycles, base.Reports, base.TimeNS/1e6)
+	if *system == "ap" {
+		return
+	}
+
+	n := int(*profile * float64(len(input)))
+	if n < 1 {
+		n = 1
+	}
+	part, err := eng.Partition(net, input[:n])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("partition:     %.1f%% resource saving, %d intermediate reporting states (profiled on %d symbols)\n",
+		100*part.ResourceSaving(), part.NumIntermediate, n)
+
+	if *system == "spap" || *system == "all" {
+		res, err := eng.RunBaseAPSpAP(part, input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		jr := "-"
+		if !math.IsNaN(res.JumpRatio) {
+			jr = fmt.Sprintf("%.2f%%", 100*res.JumpRatio)
+		}
+		fmt.Printf("BaseAP/SpAP:   %d+%d executions, %d cycles, %d reports, %d IM reports, %d stalls, jump %s, speedup %.2fx\n",
+			res.BaseAPBatches, res.SpAPExecutions, res.TotalCycles, res.NumReports,
+			res.IntermediateReports, res.EnableStalls, jr,
+			sparseap.Speedup(base.Cycles, res.TotalCycles))
+	}
+	if *system == "apcpu" || *system == "all" {
+		res, err := eng.RunAPCPU(part, input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("AP-CPU:        %d executions, %.3f ms (%.3f ms on CPU), %d reports, speedup %.2fx\n",
+			res.BaseAPBatches, res.TimeNS/1e6, res.CPUTimeNS/1e6, res.NumReports,
+			base.TimeNS/res.TimeNS)
+	}
+}
+
+// writeTrace samples the dynamically enabled state count each cycle and
+// writes a CSV usable for frontier-over-time plots.
+func writeTrace(path string, net *sparseap.Network, input []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	eng := sim.NewEngine(net, sim.Options{})
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "cycle,enabled,reports")
+	reports := int64(0)
+	eng.OnReport = func(pos int64, s sparseap.StateID) { reports++ }
+	for i, b := range input {
+		eng.Step(int64(i), b)
+		fmt.Fprintf(w, "%d,%d,%d\n", i, eng.FrontierLen(), reports)
+	}
+	return w.Flush()
+}
+
+// load resolves the application from flags.
+func load(appName, anmlPath, inPath string, divisor, inputLen int, seed int64) (*sparseap.Network, []byte, error) {
+	switch {
+	case appName != "":
+		app, err := workloads.Build(appName, workloads.Config{
+			Divisor: divisor, InputLen: inputLen, Seed: seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return app.Net, app.Input, nil
+	case anmlPath != "":
+		if inPath == "" {
+			return nil, nil, fmt.Errorf("apsim: -anml requires -in")
+		}
+		f, err := os.Open(anmlPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		net, err := sparseap.ReadANML(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		input, err := os.ReadFile(inPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		return net, input, nil
+	}
+	return nil, nil, fmt.Errorf("apsim: need -app or -anml (try -app Snort)")
+}

@@ -1,0 +1,103 @@
+// Command apstat prints Table II-style structural statistics for a
+// built-in application, an ANML file, or the whole generated suite.
+//
+//	apstat -list                 # names of the 26 built-in applications
+//	apstat -app CAV4k            # one application's statistics
+//	apstat -anml rules.anml      # statistics of an ANML automaton
+//	apstat -all                  # the full Table II
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparseap"
+	"sparseap/internal/ap"
+	"sparseap/internal/exp"
+	"sparseap/internal/graph"
+	"sparseap/internal/metrics"
+	"sparseap/internal/workloads"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list built-in application names")
+		all      = flag.Bool("all", false, "print Table II for the whole suite")
+		appName  = flag.String("app", "", "built-in application abbreviation")
+		anmlPath = flag.String("anml", "", "ANML automaton file")
+		divisor  = flag.Int("divisor", 8, "workload scale divisor")
+		inputLen = flag.Int("input", 131072, "generated input length")
+		seed     = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+	wl := workloads.Config{Divisor: *divisor, InputLen: *inputLen, Seed: *seed}
+
+	switch {
+	case *list:
+		for _, n := range workloads.Names() {
+			fmt.Println(n)
+		}
+	case *all:
+		suite := exp.NewSuite(wl, ap.DefaultConfig())
+		res, err := exp.Table2(suite)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Render())
+	case *appName != "":
+		app, err := workloads.Build(*appName, wl)
+		if err != nil {
+			fail(err)
+		}
+		printStats(app.Name, app.Net)
+	case *anmlPath != "":
+		f, err := os.Open(*anmlPath)
+		if err != nil {
+			fail(err)
+		}
+		net, err := sparseap.ReadANML(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		printStats(*anmlPath, net)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printStats(name string, net *sparseap.Network) {
+	st := net.ComputeStats()
+	topo := graph.TopoOrder(net)
+	maxTopo, sumTopo := int32(0), int64(0)
+	for _, m := range topo.MaxPerNFA {
+		if m > maxTopo {
+			maxTopo = m
+		}
+		sumTopo += int64(m)
+	}
+	maxSCC := int32(0)
+	for _, s := range topo.SCC.Size {
+		if s > maxSCC {
+			maxSCC = s
+		}
+	}
+	t := metrics.NewTable("Metric", "Value")
+	t.AddRowf("states", st.States)
+	t.AddRowf("NFAs", st.NFAs)
+	t.AddRowf("edges", st.Edges)
+	t.AddRowf("reporting states", st.Reporting)
+	t.AddRowf("start states", st.Starts)
+	t.AddRowf("start-of-data", fmt.Sprint(st.StartOfData))
+	t.AddRowf("max topological order", maxTopo)
+	t.AddRowf("avg max topo per NFA", float64(sumTopo)/float64(st.NFAs))
+	t.AddRowf("largest SCC", maxSCC)
+	fmt.Printf("%s\n%s", name, t)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

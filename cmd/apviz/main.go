@@ -1,0 +1,189 @@
+// Command apviz emits the evaluation's figure data as CSV files, one per
+// artifact, ready for plotting (gnuplot, matplotlib, spreadsheets):
+//
+//	apviz -o csv/            # all figures at the default 1/8 scale
+//
+// Files: fig1.csv, fig5_hot.csv, fig5_cold.csv, table1.csv, fig8.csv,
+// fig10a.csv, fig10b.csv, fig11.csv, table4.csv, fig13a.csv, fig13b.csv.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"sparseap/internal/ap"
+	"sparseap/internal/exp"
+	"sparseap/internal/workloads"
+)
+
+func main() {
+	var (
+		outDir   = flag.String("o", ".", "output directory")
+		divisor  = flag.Int("divisor", 8, "scale divisor")
+		inputLen = flag.Int("input", 131072, "input length")
+		capacity = flag.Int("capacity", 3000, "half-core capacity")
+		seed     = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	wl := workloads.Config{Divisor: *divisor, InputLen: *inputLen, Seed: *seed}
+	s := exp.NewSuite(wl, ap.DefaultConfig().WithCapacity(*capacity))
+
+	emit(*outDir, "fig1.csv", func(w *csv.Writer) error {
+		r, err := exp.Fig1(s)
+		if err != nil {
+			return err
+		}
+		w.Write([]string{"app", "hot_frac", "hot", "cold"})
+		for _, row := range r.Rows {
+			w.Write([]string{row.Abbr, f(row.HotFrac), itoa(row.Hot), itoa(row.Cold)})
+		}
+		return nil
+	})
+	emit(*outDir, "fig5_hot.csv", func(w *csv.Writer) error {
+		r, err := exp.Fig5(s)
+		if err != nil {
+			return err
+		}
+		w.Write([]string{"app", "shallow", "medium", "deep"})
+		for _, row := range r.Hot {
+			w.Write([]string{row.Abbr, f(row.Shallow), f(row.Medium), f(row.Deep)})
+		}
+		return nil
+	})
+	emit(*outDir, "fig5_cold.csv", func(w *csv.Writer) error {
+		r, err := exp.Fig5(s)
+		if err != nil {
+			return err
+		}
+		w.Write([]string{"app", "shallow", "medium", "deep"})
+		for _, row := range r.Cold {
+			w.Write([]string{row.Abbr, f(row.Shallow), f(row.Medium), f(row.Deep)})
+		}
+		return nil
+	})
+	emit(*outDir, "table1.csv", func(w *csv.Writer) error {
+		r, err := exp.Table1(s)
+		if err != nil {
+			return err
+		}
+		w.Write([]string{"input_frac", "accuracy", "recall", "precision"})
+		for _, row := range r.Rows {
+			w.Write([]string{f(row.Fraction), f(row.Accuracy), f(row.Recall), f(row.Precision)})
+		}
+		return nil
+	})
+	emit(*outDir, "fig8.csv", func(w *csv.Writer) error {
+		r, err := exp.Fig8(s)
+		if err != nil {
+			return err
+		}
+		w.Write([]string{"app", "constrained_frac"})
+		for _, row := range r.Rows {
+			w.Write([]string{row.Abbr, f(row.Constrained)})
+		}
+		return nil
+	})
+	emit(*outDir, "fig10a.csv", func(w *csv.Writer) error {
+		r, err := exp.Fig10(s)
+		if err != nil {
+			return err
+		}
+		w.Write([]string{"app", "apcpu_01", "apcpu_1", "spap_01", "spap_1"})
+		for _, row := range r.Rows {
+			w.Write([]string{row.Abbr, f(row.APCPU01), f(row.APCPU1), f(row.SpAP01), f(row.SpAP1)})
+		}
+		return nil
+	})
+	emit(*outDir, "fig10b.csv", func(w *csv.Writer) error {
+		r, err := exp.Fig10(s)
+		if err != nil {
+			return err
+		}
+		w.Write([]string{"app", "saving_01", "saving_1"})
+		for _, row := range r.Rows {
+			w.Write([]string{row.Abbr, f(row.Saving01), f(row.Saving1)})
+		}
+		return nil
+	})
+	emit(*outDir, "fig11.csv", func(w *csv.Writer) error {
+		c := *capacity
+		r, err := exp.Fig11(s, []int{c / 4, c / 2, c, c * 49 / 24})
+		if err != nil {
+			return err
+		}
+		w.Write([]string{"capacity", "baseline_perf_per_ste", "spap_perf_per_ste"})
+		for _, row := range r.Rows {
+			w.Write([]string{itoa(row.Capacity), f(row.BaselineMean), f(row.SpAPMean)})
+		}
+		return nil
+	})
+	emit(*outDir, "table4.csv", func(w *csv.Writer) error {
+		r, err := exp.Table4(s)
+		if err != nil {
+			return err
+		}
+		w.Write([]string{"app", "baseline_exec", "baseap_exec", "spap_exec", "im_reports", "estalls", "jump_ratio"})
+		for _, row := range r.Rows {
+			jr := ""
+			if !math.IsNaN(row.JumpRatio) {
+				jr = f(row.JumpRatio)
+			}
+			w.Write([]string{row.Abbr, itoa(row.BaselineExecutions), itoa(row.BaseAPExecutions),
+				itoa(row.SpAPExecutions), i64(row.IntermediateReports), i64(row.EnableStalls), jr})
+		}
+		return nil
+	})
+	emit(*outDir, "fig13a.csv", func(w *csv.Writer) error {
+		r, err := exp.Fig13(s)
+		if err != nil {
+			return err
+		}
+		w.Write([]string{"app", "spap_01", "spap_1"})
+		for _, row := range r.Low.Rows {
+			w.Write([]string{row.Abbr, f(row.SpAP01), f(row.SpAP1)})
+		}
+		return nil
+	})
+	emit(*outDir, "fig13b.csv", func(w *csv.Writer) error {
+		r, err := exp.Fig13(s)
+		if err != nil {
+			return err
+		}
+		w.Write([]string{"app", "spap_01", "spap_1"})
+		for _, row := range r.High.Rows {
+			w.Write([]string{row.Abbr, f(row.SpAP01), f(row.SpAP1)})
+		}
+		return nil
+	})
+}
+
+func emit(dir, name string, fill func(*csv.Writer) error) {
+	file, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fail(err)
+	}
+	w := csv.NewWriter(file)
+	if err := fill(w); err != nil {
+		fail(fmt.Errorf("%s: %w", name, err))
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fail(err)
+	}
+	if err := file.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Println("wrote", filepath.Join(dir, name))
+}
+
+func f(v float64) string { return fmt.Sprintf("%.6g", v) }
+func itoa(v int) string  { return fmt.Sprintf("%d", v) }
+func i64(v int64) string { return fmt.Sprintf("%d", v) }
+func fail(err error)     { fmt.Fprintln(os.Stderr, err); os.Exit(1) }

@@ -1,0 +1,61 @@
+// Quickstart: compile a few regexes into a homogeneous NFA network, run it
+// on the modeled Automata Processor, then partition it with a short
+// profiling prefix and run the BaseAP/SpAP two-mode execution — the
+// end-to-end pipeline of the paper in ~50 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sparseap"
+)
+
+func main() {
+	net, err := sparseap.CompileRegex([]string{
+		"error [0-9]{3}",
+		"timeout after [0-9]+ms",
+		"panic: .{1,20}overflow",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	input := []byte(strings.Repeat("all quiet on the logging front ... ", 40) +
+		"error 503 upstream " +
+		strings.Repeat("still quiet ... ", 40) +
+		"timeout after 1500ms; panic: stack overflow")
+
+	// Plain functional matching (no hardware model).
+	for _, r := range sparseap.Match(net, input) {
+		fmt.Printf("match ending at byte %d (state %d)\n", r.Pos, r.State)
+	}
+
+	// The paper's pipeline on a deliberately tiny AP so batching shows up.
+	eng := sparseap.NewEngine(sparseap.DefaultAPConfig().WithCapacity(40))
+	base, err := eng.RunBaseline(net, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbaseline AP: %d batches × %d symbols = %d cycles\n",
+		base.Batches, len(input), base.Cycles)
+
+	// Profile on the first 5% of the stream, partition, and re-run.
+	part, err := eng.Partition(net, input[:len(input)/20])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partition: %.0f%% of states predicted cold and left off the AP\n",
+		100*part.ResourceSaving())
+
+	res, err := eng.RunBaseAPSpAP(part, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BaseAP/SpAP: %d+%d executions, %d cycles, %d intermediate reports -> speedup %.2fx\n",
+		res.BaseAPBatches, res.SpAPExecutions, res.TotalCycles,
+		res.IntermediateReports, sparseap.Speedup(base.Cycles, res.TotalCycles))
+	fmt.Printf("all %d matches still found: %v\n", res.NumReports,
+		res.NumReports == base.Reports)
+}

@@ -1,0 +1,46 @@
+package sparseap
+
+import (
+	"sparseap/internal/automata"
+	"sparseap/internal/dfa"
+	"sparseap/internal/sim"
+)
+
+// This file exposes the toolchain extensions around the core pipeline:
+// compile-time automata optimization, parallel and streaming matching, and
+// the DFA comparison engine.
+
+// OptStats summarizes an Optimize run.
+type OptStats = automata.OptStats
+
+// Optimize applies the compiler passes AP toolchains run before placement
+// — unreachable-state pruning, dead-end pruning, and equivalence merging —
+// and returns the reduced network. Matching behaviour (per-position report
+// counts) is preserved; state identities are renumbered.
+func Optimize(net *Network) (*Network, OptStats) {
+	return automata.Optimize(net)
+}
+
+// MatchParallel runs the matcher over input with chunked parallelism (the
+// Parallel Automata Processor execution style). Exact for acyclic
+// networks; cyclic networks are rejected unless opts allows approximation.
+type ParallelOptions = sim.ParallelOptions
+
+// MatchParallel returns all reports, sorted by position.
+func MatchParallel(net *Network, input []byte, opts ParallelOptions) ([]Report, error) {
+	return sim.ParallelRun(net, input, opts)
+}
+
+// Streamer is an incremental matcher implementing io.Writer; reports are
+// delivered through its OnReport callback as input arrives.
+type Streamer = sim.Streamer
+
+// NewStreamer builds a streaming matcher over net.
+func NewStreamer(net *Network) *Streamer { return sim.NewStreamer(net) }
+
+// DFA is a lazily determinized matcher over the same network model — the
+// CPU-side baseline the paper's related work contrasts with AP execution.
+type DFA = dfa.DFA
+
+// NewDFA prepares a lazy DFA with the default state cap.
+func NewDFA(net *Network) *DFA { return dfa.New(net, dfa.Options{}) }

@@ -1,0 +1,3 @@
+module sparseap
+
+go 1.22

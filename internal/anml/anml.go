@@ -1,0 +1,172 @@
+// Package anml reads and writes the ANML (Automata Network Markup
+// Language) subset used by the AP toolchain: state-transition-elements with
+// symbol-sets, start kinds, activate-on-match edges and report-on-match
+// markers.
+package anml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// xmlANML mirrors the <anml> document root.
+type xmlANML struct {
+	XMLName xml.Name   `xml:"anml"`
+	Version string     `xml:"version,attr,omitempty"`
+	Network xmlNetwork `xml:"automata-network"`
+}
+
+type xmlNetwork struct {
+	ID   string   `xml:"id,attr,omitempty"`
+	Name string   `xml:"name,attr,omitempty"`
+	STEs []xmlSTE `xml:"state-transition-element"`
+}
+
+type xmlSTE struct {
+	ID        string        `xml:"id,attr"`
+	SymbolSet string        `xml:"symbol-set,attr"`
+	Start     string        `xml:"start,attr,omitempty"`
+	Activate  []xmlActivate `xml:"activate-on-match"`
+	Report    *xmlReport    `xml:"report-on-match"`
+}
+
+type xmlActivate struct {
+	Element string `xml:"element,attr"`
+}
+
+type xmlReport struct {
+	ReportCode string `xml:"reportcode,attr,omitempty"`
+}
+
+// Read parses an ANML document and returns the application network, with
+// the flat STE list split into weakly-connected NFAs.
+func Read(r io.Reader) (*automata.Network, error) {
+	var doc xmlANML
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("anml: %w", err)
+	}
+	if len(doc.Network.STEs) == 0 {
+		return nil, fmt.Errorf("anml: automata-network has no state-transition-elements")
+	}
+	m := automata.NewNFA()
+	idOf := make(map[string]automata.StateID, len(doc.Network.STEs))
+	for _, ste := range doc.Network.STEs {
+		if ste.ID == "" {
+			return nil, fmt.Errorf("anml: state-transition-element without id")
+		}
+		if _, dup := idOf[ste.ID]; dup {
+			return nil, fmt.Errorf("anml: duplicate element id %q", ste.ID)
+		}
+		set, err := symset.Parse(ste.SymbolSet)
+		if err != nil {
+			return nil, fmt.Errorf("anml: element %q: %w", ste.ID, err)
+		}
+		start, err := parseStart(ste.Start)
+		if err != nil {
+			return nil, fmt.Errorf("anml: element %q: %w", ste.ID, err)
+		}
+		idOf[ste.ID] = m.AddState(automata.State{
+			Match:  set,
+			Start:  start,
+			Report: ste.Report != nil,
+			Name:   ste.ID,
+		})
+	}
+	for _, ste := range doc.Network.STEs {
+		u := idOf[ste.ID]
+		for _, act := range ste.Activate {
+			v, ok := idOf[act.Element]
+			if !ok {
+				return nil, fmt.Errorf("anml: element %q activates unknown element %q", ste.ID, act.Element)
+			}
+			m.Connect(u, v)
+		}
+	}
+	m.Dedup()
+	nfas := automata.SplitComponents(m)
+	net := automata.NewNetwork(nfas...)
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("anml: %w", err)
+	}
+	return net, nil
+}
+
+func parseStart(s string) (automata.StartKind, error) {
+	switch s {
+	case "", "none":
+		return automata.StartNone, nil
+	case "all-input":
+		return automata.StartAllInput, nil
+	case "start-of-data":
+		return automata.StartOfData, nil
+	}
+	return automata.StartNone, fmt.Errorf("unknown start kind %q", s)
+}
+
+func startAttr(k automata.StartKind) string {
+	switch k {
+	case automata.StartAllInput:
+		return "all-input"
+	case automata.StartOfData:
+		return "start-of-data"
+	default:
+		return ""
+	}
+}
+
+// Write serializes the network as an ANML document. State names are used as
+// element IDs when present and unique; otherwise IDs are generated as
+// "ste<global-id>".
+func Write(w io.Writer, net *automata.Network, name string) error {
+	ids := elementIDs(net)
+	doc := xmlANML{
+		Version: "1.0",
+		Network: xmlNetwork{ID: name, Name: name},
+	}
+	doc.Network.STEs = make([]xmlSTE, net.Len())
+	for s := 0; s < net.Len(); s++ {
+		st := &net.States[s]
+		x := xmlSTE{
+			ID:        ids[s],
+			SymbolSet: st.Match.String(),
+			Start:     startAttr(st.Start),
+		}
+		for _, v := range st.Succ {
+			x.Activate = append(x.Activate, xmlActivate{Element: ids[v]})
+		}
+		if st.Report {
+			x.Report = &xmlReport{ReportCode: fmt.Sprintf("%d", s)}
+		}
+		doc.Network.STEs[s] = x
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	if err := enc.Encode(&doc); err != nil {
+		return fmt.Errorf("anml: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// elementIDs picks a unique XML id per state.
+func elementIDs(net *automata.Network) []string {
+	ids := make([]string, net.Len())
+	seen := make(map[string]bool, net.Len())
+	for s := 0; s < net.Len(); s++ {
+		id := net.States[s].Name
+		if id == "" || seen[id] {
+			id = fmt.Sprintf("ste%d", s)
+		}
+		seen[id] = true
+		ids[s] = id
+	}
+	return ids
+}

@@ -1,0 +1,149 @@
+package anml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/sim"
+	"sparseap/internal/symset"
+)
+
+const sampleANML = `<?xml version="1.0" encoding="UTF-8"?>
+<anml version="1.0">
+  <automata-network id="fig2" name="fig2">
+    <state-transition-element id="s1" symbol-set="a" start="all-input">
+      <activate-on-match element="s2"/>
+      <activate-on-match element="s4"/>
+    </state-transition-element>
+    <state-transition-element id="s2" symbol-set="b">
+      <activate-on-match element="s3"/>
+    </state-transition-element>
+    <state-transition-element id="s3" symbol-set="c">
+      <activate-on-match element="s6"/>
+    </state-transition-element>
+    <state-transition-element id="s4" symbol-set="c">
+      <activate-on-match element="s5"/>
+    </state-transition-element>
+    <state-transition-element id="s5" symbol-set="d">
+      <activate-on-match element="s4"/>
+      <activate-on-match element="s6"/>
+    </state-transition-element>
+    <state-transition-element id="s6" symbol-set="f">
+      <report-on-match reportcode="6"/>
+    </state-transition-element>
+  </automata-network>
+</anml>
+`
+
+func TestReadFigure2(t *testing.T) {
+	net, err := Read(strings.NewReader(sampleANML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Len() != 6 || net.NumNFAs() != 1 {
+		t.Fatalf("Len=%d NFAs=%d", net.Len(), net.NumNFAs())
+	}
+	res := sim.Run(net, []byte("abcf"), sim.Options{CollectReports: true})
+	if res.NumReports != 1 || res.Reports[0].Pos != 3 {
+		t.Fatalf("reports = %+v", res.Reports)
+	}
+}
+
+func TestReadMultipleNFAs(t *testing.T) {
+	doc := `<anml><automata-network id="n">
+	  <state-transition-element id="a" symbol-set="a" start="all-input">
+	    <activate-on-match element="b"/>
+	  </state-transition-element>
+	  <state-transition-element id="b" symbol-set="b"><report-on-match/></state-transition-element>
+	  <state-transition-element id="x" symbol-set="x" start="start-of-data">
+	    <activate-on-match element="y"/>
+	  </state-transition-element>
+	  <state-transition-element id="y" symbol-set="y"><report-on-match/></state-transition-element>
+	</automata-network></anml>`
+	net, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumNFAs() != 2 {
+		t.Fatalf("NFAs = %d, want 2", net.NumNFAs())
+	}
+	st := net.ComputeStats()
+	if st.Reporting != 2 || !st.StartOfData {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		`<anml><automata-network id="n"></automata-network></anml>`,
+		`<anml><automata-network><state-transition-element symbol-set="a" start="all-input"/></automata-network></anml>`,
+		`<anml><automata-network><state-transition-element id="a" symbol-set="a" start="bogus"/></automata-network></anml>`,
+		`<anml><automata-network><state-transition-element id="a" symbol-set="[z-a]" start="all-input"/></automata-network></anml>`,
+		`<anml><automata-network><state-transition-element id="a" symbol-set="a" start="all-input"><activate-on-match element="missing"/></state-transition-element></automata-network></anml>`,
+		`<anml><automata-network><state-transition-element id="a" symbol-set="a" start="all-input"/><state-transition-element id="a" symbol-set="b"/></automata-network></anml>`,
+		`not xml at all`,
+	}
+	for i, doc := range cases {
+		if _, err := Read(strings.NewReader(doc)); err == nil {
+			t.Errorf("case %d: Read succeeded, want error", i)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := automata.NewNFA()
+	a := m.Add(symset.Range('a', 'c'), automata.StartAllInput, false)
+	b := m.Add(symset.All(), automata.StartNone, false)
+	c := m.Add(symset.Single(0x00), automata.StartNone, true)
+	m.Connect(a, b)
+	m.Connect(b, b)
+	m.Connect(b, c)
+	m2 := automata.NewNFA()
+	x := m2.Add(symset.Single('x'), automata.StartOfData, false)
+	y := m2.Add(symset.Digits(), automata.StartNone, true)
+	m2.Connect(x, y)
+	net := automata.NewNetwork(m, m2)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, net, "roundtrip"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("re-read: %v\ndocument:\n%s", err, buf.String())
+	}
+	if got.Len() != net.Len() || got.NumNFAs() != net.NumNFAs() {
+		t.Fatalf("round trip: Len=%d NFAs=%d, want %d,%d", got.Len(), got.NumNFAs(), net.Len(), net.NumNFAs())
+	}
+	for s := 0; s < net.Len(); s++ {
+		if !got.States[s].Match.Equal(net.States[s].Match) {
+			t.Errorf("state %d symbol set mismatch: %v vs %v", s, got.States[s].Match, net.States[s].Match)
+		}
+		if got.States[s].Start != net.States[s].Start {
+			t.Errorf("state %d start mismatch", s)
+		}
+		if got.States[s].Report != net.States[s].Report {
+			t.Errorf("state %d report mismatch", s)
+		}
+		if len(got.States[s].Succ) != len(net.States[s].Succ) {
+			t.Errorf("state %d successor count mismatch", s)
+		}
+	}
+}
+
+func TestWriteGeneratesUniqueIDs(t *testing.T) {
+	m := automata.NewNFA()
+	a := m.AddState(automata.State{Match: symset.Single('a'), Start: automata.StartAllInput, Name: "dup"})
+	b := m.AddState(automata.State{Match: symset.Single('b'), Report: true, Name: "dup"})
+	m.Connect(a, b)
+	net := automata.NewNetwork(m)
+	var buf bytes.Buffer
+	if err := Write(&buf, net, "dups"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("re-read with duplicate names: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+package anml
+
+import (
+	"fmt"
+	"io"
+
+	"sparseap/internal/automata"
+)
+
+// WriteDOT renders the network as a Graphviz digraph: start states are
+// doubled circles (as in the paper's Figure 2), reporting states hexagons,
+// and each node is labeled with its symbol set. Intended for small
+// automata — visual debugging of partitions and compilers.
+func WriteDOT(w io.Writer, net *automata.Network, name string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10];\n", name); err != nil {
+		return err
+	}
+	for s := 0; s < net.Len(); s++ {
+		st := &net.States[s]
+		shape := "circle"
+		if st.Report {
+			shape = "hexagon"
+		}
+		peripheries := 1
+		if st.Start != automata.StartNone {
+			peripheries = 2
+		}
+		label := st.Match.String()
+		if st.Start == automata.StartOfData {
+			label += "\\n(start-of-data)"
+		}
+		if _, err := fmt.Fprintf(w, "  s%d [shape=%s peripheries=%d label=%q];\n",
+			s, shape, peripheries, label); err != nil {
+			return err
+		}
+	}
+	for s := 0; s < net.Len(); s++ {
+		for _, v := range net.States[s].Succ {
+			if _, err := fmt.Fprintf(w, "  s%d -> s%d;\n", s, v); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,36 @@
+package anml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+func TestWriteDOT(t *testing.T) {
+	m := automata.NewNFA()
+	a := m.Add(symset.Single('a'), automata.StartAllInput, false)
+	b := m.Add(symset.Single('b'), automata.StartNone, true)
+	c := m.Add(symset.All(), automata.StartOfData, false)
+	m.Connect(a, b)
+	m.Connect(c, b)
+	net := automata.NewNetwork(m)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, net, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph \"demo\"",
+		"peripheries=2",   // start states doubled
+		"shape=hexagon",   // reporting state
+		"s0 -> s1;",       // edges
+		"(start-of-data)", // start kind annotated
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package ap
+
+// Output-reporting overhead model. The paper excludes report-output costs
+// from its evaluation (Section VI-B), citing prior work that mitigates the
+// bottleneck in hardware; this model makes the excluded quantity
+// measurable so the exclusion can be sanity-checked: on every cycle that
+// produces at least one report, the AP must latch an output vector into a
+// region buffer, and a full buffer stalls the input stream until a vector
+// drains to the host.
+
+// OutputModel describes the report-output path of one half-core.
+type OutputModel struct {
+	// BufferDepth is the number of output vectors the on-chip region
+	// buffer holds before the input stalls.
+	BufferDepth int
+	// DrainCycles is the time to move one vector off-chip.
+	DrainCycles int
+}
+
+// DefaultOutputModel mirrors the D480-era output region: a 32-vector
+// buffer draining one 1024-bit vector every 8 cycles.
+func DefaultOutputModel() OutputModel {
+	return OutputModel{BufferDepth: 32, DrainCycles: 8}
+}
+
+// Overhead simulates the output path over the distinct report positions of
+// one execution (positions must be sorted ascending; duplicates are
+// allowed and collapse into one vector) and returns the input stall
+// cycles the paper's evaluation leaves out.
+func (m OutputModel) Overhead(positions []int64) int64 {
+	if len(positions) == 0 || m.BufferDepth <= 0 {
+		return 0
+	}
+	var (
+		stalls   int64
+		buffered int   // vectors currently in the buffer
+		drainAt  int64 // absolute cycle when the oldest vector finishes draining
+		lastPos  int64 = -1
+	)
+	now := int64(0)
+	for _, pos := range positions {
+		if pos == lastPos {
+			continue // same-cycle reports share one output vector
+		}
+		lastPos = pos
+		if pos > now {
+			now = pos
+		}
+		// Drain everything that completed before this cycle.
+		for buffered > 0 && drainAt <= now {
+			buffered--
+			drainAt += int64(m.DrainCycles)
+		}
+		if buffered == 0 {
+			drainAt = now + int64(m.DrainCycles)
+		}
+		if buffered == m.BufferDepth {
+			// Stall until one vector drains.
+			wait := drainAt - now
+			if wait > 0 {
+				stalls += wait
+				now = drainAt
+			}
+			buffered--
+			drainAt += int64(m.DrainCycles)
+		}
+		buffered++
+	}
+	return stalls
+}

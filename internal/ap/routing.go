@@ -1,0 +1,109 @@
+package ap
+
+import (
+	"fmt"
+
+	"sparseap/internal/automata"
+)
+
+// Placement maps a batch's states onto the half-core's hierarchical
+// routing matrix (blocks of rows of STEs, Section V-B). Enable signals that
+// stay within a block use cheap local wires; edges that cross blocks
+// consume the scarcer global routing the AP compiler tries to minimize.
+// Place assigns states block-by-block in a BFS order rooted at each NFA's
+// start states, which keeps connected neighbourhoods co-located — the same
+// locality heuristic the AP's placer applies.
+type Placement struct {
+	// Addr[i] is the hierarchical address of state i.
+	Addr []Address
+	// BlocksUsed counts occupied blocks.
+	BlocksUsed int
+	// IntraBlockEdges and CrossBlockEdges partition the routed edges.
+	IntraBlockEdges int
+	CrossBlockEdges int
+}
+
+// CrossBlockFraction returns the share of edges needing global routing.
+func (p *Placement) CrossBlockFraction() float64 {
+	total := p.IntraBlockEdges + p.CrossBlockEdges
+	if total == 0 {
+		return 0
+	}
+	return float64(p.CrossBlockEdges) / float64(total)
+}
+
+// Place assigns every state of net a block/row/STE address on one
+// half-core. It fails if the network exceeds the capacity.
+func Place(net *automata.Network, cfg Config) (*Placement, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if net.Len() > cfg.Capacity {
+		return nil, fmt.Errorf("ap: %d states exceed capacity %d", net.Len(), cfg.Capacity)
+	}
+	order := bfsOrder(net)
+	pl := &Placement{Addr: make([]Address, net.Len())}
+	for slot, s := range order {
+		a, err := cfg.AddressOf(slot)
+		if err != nil {
+			return nil, err
+		}
+		pl.Addr[s] = a
+	}
+	blocks := map[int]bool{}
+	for s := 0; s < net.Len(); s++ {
+		blocks[pl.Addr[s].Block] = true
+		for _, v := range net.States[s].Succ {
+			if pl.Addr[s].Block == pl.Addr[v].Block {
+				pl.IntraBlockEdges++
+			} else {
+				pl.CrossBlockEdges++
+			}
+		}
+	}
+	pl.BlocksUsed = len(blocks)
+	return pl, nil
+}
+
+// bfsOrder returns the states in per-NFA BFS order from start states,
+// appending any unreached states at the end of their NFA's run.
+func bfsOrder(net *automata.Network) []automata.StateID {
+	order := make([]automata.StateID, 0, net.Len())
+	seen := make([]bool, net.Len())
+	var queue []automata.StateID
+	for nfa := 0; nfa < net.NumNFAs(); nfa++ {
+		lo, hi := net.NFAStates(nfa)
+		queue = queue[:0]
+		for s := lo; s < hi; s++ {
+			if net.States[s].Start != automata.StartNone {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			order = append(order, u)
+			for _, v := range net.States[u].Succ {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		for s := lo; s < hi; s++ {
+			if !seen[s] {
+				seen[s] = true
+				order = append(order, s)
+			}
+		}
+	}
+	return order
+}
+
+// EnableDecodeSteps returns the decoder activations the SpAP enable
+// operation performs for one 16-bit state ID: block select (7×128 in the
+// paper's full-size hierarchy), row select (4×16), and STE select (4×16).
+// The constant 3 documents the three-stage pipeline; it is exposed so
+// tests can anchor the hardware description of Section V-B.
+func EnableDecodeSteps() int { return 3 }

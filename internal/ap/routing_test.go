@@ -1,0 +1,148 @@
+package ap
+
+import (
+	"testing"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+func TestPlaceAssignsUniqueAddresses(t *testing.T) {
+	net := makeNet(10, 10, 10)
+	cfg := DefaultConfig().WithCapacity(512)
+	pl, err := Place(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Address]bool{}
+	for _, a := range pl.Addr {
+		if seen[a] {
+			t.Fatalf("duplicate address %+v", a)
+		}
+		seen[a] = true
+	}
+	if pl.BlocksUsed < 1 {
+		t.Fatal("no blocks used")
+	}
+}
+
+func TestPlaceOverCapacity(t *testing.T) {
+	net := makeNet(100)
+	if _, err := Place(net, DefaultConfig().WithCapacity(100).WithCapacity(50)); err == nil {
+		t.Fatal("over-capacity placement accepted")
+	}
+}
+
+func TestPlaceLocality(t *testing.T) {
+	// Chains much smaller than a block must never cross blocks (BFS packs
+	// each NFA contiguously).
+	net := makeNet(8, 8, 8, 8)
+	cfg := DefaultConfig().WithCapacity(512) // 2 blocks of 256
+	pl, err := Place(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.CrossBlockEdges != 0 {
+		t.Fatalf("cross-block edges = %d for tiny chains", pl.CrossBlockEdges)
+	}
+	if pl.IntraBlockEdges != 4*7 {
+		t.Fatalf("intra-block edges = %d, want 28", pl.IntraBlockEdges)
+	}
+	if pl.CrossBlockFraction() != 0 {
+		t.Fatal("cross fraction nonzero")
+	}
+}
+
+func TestPlaceCrossBlockCounted(t *testing.T) {
+	// One chain longer than a block must cross at least once.
+	m := automata.NewNFA()
+	prev := m.Add(symset.Single('a'), automata.StartAllInput, false)
+	for i := 1; i < 300; i++ {
+		cur := m.Add(symset.Single('a'), automata.StartNone, i == 299)
+		m.Connect(prev, cur)
+		prev = cur
+	}
+	net := automata.NewNetwork(m)
+	pl, err := Place(net, DefaultConfig().WithCapacity(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.CrossBlockEdges == 0 {
+		t.Fatal("300-state chain placed without crossing a 256-STE block")
+	}
+	if pl.BlocksUsed != 2 {
+		t.Fatalf("blocks used = %d, want 2", pl.BlocksUsed)
+	}
+}
+
+func TestPlaceCoversUnreachableStates(t *testing.T) {
+	m := automata.NewNFA()
+	a := m.Add(symset.Single('a'), automata.StartAllInput, true)
+	orphan := m.Add(symset.Single('z'), automata.StartNone, false)
+	_ = a
+	_ = orphan
+	net := automata.NewNetwork(m)
+	pl, err := Place(net, DefaultConfig().WithCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Addr) != 2 || pl.Addr[0] == pl.Addr[1] {
+		t.Fatal("orphan state not placed")
+	}
+}
+
+func TestEnableDecodeSteps(t *testing.T) {
+	if EnableDecodeSteps() != 3 {
+		t.Fatal("the enable decoder is a three-stage hierarchy")
+	}
+}
+
+func TestOutputOverheadEmpty(t *testing.T) {
+	m := DefaultOutputModel()
+	if m.Overhead(nil) != 0 {
+		t.Fatal("no reports, no overhead")
+	}
+	if (OutputModel{}).Overhead([]int64{1, 2}) != 0 {
+		t.Fatal("zero-depth model must be inert")
+	}
+}
+
+func TestOutputOverheadSparseReportsFree(t *testing.T) {
+	// Reports far apart drain between events: no stalls.
+	m := OutputModel{BufferDepth: 2, DrainCycles: 4}
+	if got := m.Overhead([]int64{0, 100, 200}); got != 0 {
+		t.Fatalf("overhead = %d, want 0", got)
+	}
+}
+
+func TestOutputOverheadBurstStalls(t *testing.T) {
+	// A dense burst overflows a shallow buffer.
+	m := OutputModel{BufferDepth: 2, DrainCycles: 10}
+	positions := []int64{0, 1, 2, 3, 4, 5}
+	if got := m.Overhead(positions); got == 0 {
+		t.Fatal("dense burst produced no stalls")
+	}
+}
+
+func TestOutputOverheadSamePositionCollapses(t *testing.T) {
+	m := OutputModel{BufferDepth: 1, DrainCycles: 100}
+	// 10 reports at one position share a vector: equivalent to one report.
+	many := m.Overhead([]int64{5, 5, 5, 5, 5, 5, 5, 5, 5, 5})
+	one := m.Overhead([]int64{5})
+	if many != one {
+		t.Fatalf("same-position reports not collapsed: %d vs %d", many, one)
+	}
+}
+
+func TestOutputOverheadMonotoneInDensity(t *testing.T) {
+	m := OutputModel{BufferDepth: 4, DrainCycles: 6}
+	dense := make([]int64, 64)
+	sparse := make([]int64, 64)
+	for i := range dense {
+		dense[i] = int64(i)
+		sparse[i] = int64(i * 20)
+	}
+	if m.Overhead(dense) < m.Overhead(sparse) {
+		t.Fatal("denser reports should stall at least as much")
+	}
+}

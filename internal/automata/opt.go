@@ -1,0 +1,248 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the automata optimization passes that AP toolchains
+// (VASim, the ANML compiler) apply before placement. They matter to the
+// paper's setting because every removed or merged state is an STE that
+// needs no column: fewer states, fewer batches, before hot/cold
+// partitioning even starts.
+//
+//   - PruneUnreachable removes states no start state can ever enable.
+//   - PruneDeadEnds removes states from which no reporting state is
+//     reachable (they can never contribute to a match).
+//   - MergeEquivalent collapses backward-bisimilar states: states with the
+//     same symbol set and start kind whose predecessor sets are (after
+//     grouping) identical are enabled at exactly the same cycles, so one
+//     STE can stand for all of them. Reporting states are never merged (a
+//     merge would change report identity and multiplicity).
+//   - Optimize runs all passes to a fixed point.
+
+// OptStats summarizes an optimization run.
+type OptStats struct {
+	Before      int
+	After       int
+	Unreachable int
+	DeadEnds    int
+	Merged      int
+	Rounds      int
+}
+
+// String renders the statistics compactly.
+func (s OptStats) String() string {
+	return fmt.Sprintf("%d -> %d states (-%d unreachable, -%d dead ends, -%d merged, %d rounds)",
+		s.Before, s.After, s.Unreachable, s.DeadEnds, s.Merged, s.Rounds)
+}
+
+// PruneUnreachable removes states not reachable from any start state. It
+// returns the new network and the number of removed states. NFAs whose
+// states are all unreachable are dropped entirely.
+func PruneUnreachable(net *Network) (*Network, int) {
+	reach := make([]bool, net.Len())
+	var stack []StateID
+	for s := range net.States {
+		if net.States[s].Start != StartNone {
+			reach[s] = true
+			stack = append(stack, StateID(s))
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range net.States[u].Succ {
+			if !reach[v] {
+				reach[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	removed := 0
+	for _, r := range reach {
+		if !r {
+			removed++
+		}
+	}
+	if removed == 0 {
+		return net, 0
+	}
+	out, _ := net.Subset(func(s StateID) bool { return reach[s] })
+	return out, removed
+}
+
+// PruneDeadEnds removes states from which no reporting state is reachable.
+// Matching semantics are preserved exactly: such states can be enabled and
+// activated but never produce or contribute to a report.
+func PruneDeadEnds(net *Network) (*Network, int) {
+	preds := net.Preds()
+	co := make([]bool, net.Len())
+	var stack []StateID
+	for s := range net.States {
+		if net.States[s].Report {
+			co[s] = true
+			stack = append(stack, StateID(s))
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range preds[u] {
+			if !co[v] {
+				co[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	removed := 0
+	for _, r := range co {
+		if !r {
+			removed++
+		}
+	}
+	if removed == 0 {
+		return net, 0
+	}
+	out, _ := net.Subset(func(s StateID) bool { return co[s] })
+	return out, removed
+}
+
+// MergeEquivalent collapses backward-bisimilar non-reporting states via
+// partition refinement: the initial groups are keyed by (symbol set, start
+// kind); each round re-keys states by their predecessor group sets until
+// stable. States sharing a final group are enabled on exactly the same
+// cycles, so they are merged into one state whose successor set is the
+// union. Merging is global — states of different NFAs sharing a prefix
+// collapse, and the NFA partition is recomputed from the merged graph's
+// weak connectivity (this is how AP compilers share rule prefixes).
+// Returns the new network and the number of states eliminated.
+func MergeEquivalent(net *Network) (*Network, int) {
+	preds := net.Preds()
+	group := make([]int32, net.Len())
+	// Initial grouping. Reporting states get unique groups (never merged).
+	type initKey struct {
+		match  [4]uint64
+		start  StartKind
+		report bool
+		unique int32 // state ID for reporting states, -1 otherwise
+	}
+	index := make(map[initKey]int32)
+	var nGroups int32
+	for s := range net.States {
+		st := &net.States[s]
+		k := initKey{match: st.Match, start: st.Start, report: st.Report, unique: -1}
+		if st.Report {
+			k.unique = int32(s)
+		}
+		g, ok := index[k]
+		if !ok {
+			g = nGroups
+			nGroups++
+			index[k] = g
+		}
+		group[s] = g
+	}
+	// Refinement rounds.
+	for {
+		type refineKey struct {
+			old   int32
+			preds string
+		}
+		next := make(map[refineKey]int32)
+		newGroup := make([]int32, net.Len())
+		var n2 int32
+		buf := make([]int32, 0, 8)
+		for s := range net.States {
+			buf = buf[:0]
+			for _, p := range preds[s] {
+				buf = append(buf, group[p])
+			}
+			sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+			// Dedup: sets, not multisets — a state enabled by two states of
+			// one group behaves like one enabled by a single member.
+			key := make([]byte, 0, 4*len(buf))
+			var last int32 = -1
+			for _, g := range buf {
+				if g == last {
+					continue
+				}
+				last = g
+				key = append(key, byte(g), byte(g>>8), byte(g>>16), byte(g>>24))
+			}
+			rk := refineKey{old: group[s], preds: string(key)}
+			g, ok := next[rk]
+			if !ok {
+				g = n2
+				n2++
+				next[rk] = g
+			}
+			newGroup[s] = g
+		}
+		if n2 == nGroups {
+			break
+		}
+		group = newGroup
+		nGroups = n2
+	}
+	if int(nGroups) == net.Len() {
+		return net, 0
+	}
+	// Rebuild as one flat machine (one state per group, in order of first
+	// member), then recover the NFA partition from weak connectivity.
+	rep := make([]StateID, nGroups)
+	for i := range rep {
+		rep[i] = None
+	}
+	newID := make([]StateID, net.Len())
+	flat := NewNFA()
+	for s := 0; s < net.Len(); s++ {
+		g := group[s]
+		if rep[g] != None {
+			newID[s] = newID[rep[g]]
+			continue
+		}
+		rep[g] = StateID(s)
+		st := net.States[s]
+		st.Succ = nil
+		newID[s] = flat.AddState(st)
+	}
+	seen := make(map[[2]StateID]struct{})
+	for s := 0; s < net.Len(); s++ {
+		u := newID[s]
+		for _, v := range net.States[s].Succ {
+			e := [2]StateID{u, newID[v]}
+			if _, dup := seen[e]; dup {
+				continue
+			}
+			seen[e] = struct{}{}
+			flat.Connect(u, newID[v])
+		}
+	}
+	out := NewNetwork(SplitComponents(flat)...)
+	return out, net.Len() - out.Len()
+}
+
+// Optimize runs unreachable pruning, dead-end pruning and equivalence
+// merging to a fixed point and reports statistics.
+func Optimize(net *Network) (*Network, OptStats) {
+	stats := OptStats{Before: net.Len()}
+	for {
+		stats.Rounds++
+		var n int
+		net, n = PruneUnreachable(net)
+		stats.Unreachable += n
+		changed := n > 0
+		net, n = PruneDeadEnds(net)
+		stats.DeadEnds += n
+		changed = changed || n > 0
+		net, n = MergeEquivalent(net)
+		stats.Merged += n
+		changed = changed || n > 0
+		if !changed || stats.Rounds > 16 {
+			break
+		}
+	}
+	stats.After = net.Len()
+	return net, stats
+}

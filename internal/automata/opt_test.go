@@ -1,0 +1,287 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparseap/internal/symset"
+)
+
+func TestPruneUnreachable(t *testing.T) {
+	m := NewNFA()
+	a := m.Add(symset.Single('a'), StartAllInput, false)
+	b := m.Add(symset.Single('b'), StartNone, true)
+	orphan := m.Add(symset.Single('x'), StartNone, false)
+	island := m.Add(symset.Single('y'), StartNone, true)
+	m.Connect(a, b)
+	m.Connect(orphan, island)
+	net := NewNetwork(m)
+	out, removed := PruneUnreachable(net)
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2", removed)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("states = %d, want 2", out.Len())
+	}
+	// No-op when everything is reachable.
+	out2, removed2 := PruneUnreachable(out)
+	if removed2 != 0 || out2 != out {
+		t.Fatal("second prune changed a fully reachable network")
+	}
+}
+
+func TestPruneDeadEnds(t *testing.T) {
+	m := NewNFA()
+	a := m.Add(symset.Single('a'), StartAllInput, false)
+	b := m.Add(symset.Single('b'), StartNone, true)
+	dead := m.Add(symset.Single('z'), StartNone, false) // reachable, leads nowhere
+	m.Connect(a, b)
+	m.Connect(a, dead)
+	net := NewNetwork(m)
+	out, removed := PruneDeadEnds(net)
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("states = %d", out.Len())
+	}
+}
+
+func TestPruneDeadEndsKeepsCycleFeedingReport(t *testing.T) {
+	m := NewNFA()
+	a := m.Add(symset.Single('a'), StartAllInput, false)
+	loop := m.Add(symset.All(), StartNone, false)
+	r := m.Add(symset.Single('r'), StartNone, true)
+	m.Connect(a, loop)
+	m.Connect(loop, loop)
+	m.Connect(loop, r)
+	net := NewNetwork(m)
+	out, removed := PruneDeadEnds(net)
+	if removed != 0 || out.Len() != 3 {
+		t.Fatalf("removed %d of a fully co-reachable network", removed)
+	}
+}
+
+func TestMergeEquivalentDiamond(t *testing.T) {
+	// Two identical parallel branches from one start must collapse:
+	// a -> b1 -> c, a -> b2 -> c with b1 == b2.
+	m := NewNFA()
+	a := m.Add(symset.Single('a'), StartAllInput, false)
+	b1 := m.Add(symset.Single('b'), StartNone, false)
+	b2 := m.Add(symset.Single('b'), StartNone, false)
+	c := m.Add(symset.Single('c'), StartNone, true)
+	m.Connect(a, b1)
+	m.Connect(a, b2)
+	m.Connect(b1, c)
+	m.Connect(b2, c)
+	net := NewNetwork(m)
+	out, merged := MergeEquivalent(net)
+	if merged != 1 {
+		t.Fatalf("merged = %d, want 1", merged)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("states = %d, want 3", out.Len())
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEquivalentKeepsDistinctBehaviour(t *testing.T) {
+	// b1 and b2 share symbol sets but different predecessors: no merge.
+	m := NewNFA()
+	a1 := m.Add(symset.Single('a'), StartAllInput, false)
+	a2 := m.Add(symset.Single('x'), StartAllInput, false)
+	b1 := m.Add(symset.Single('b'), StartNone, true)
+	b2 := m.Add(symset.Single('b'), StartNone, true)
+	m.Connect(a1, b1)
+	m.Connect(a2, b2)
+	net := NewNetwork(m)
+	_, merged := MergeEquivalent(net)
+	if merged != 0 {
+		t.Fatalf("merged = %d, want 0", merged)
+	}
+}
+
+func TestMergeEquivalentNeverMergesReports(t *testing.T) {
+	// Identical reporting siblings must stay distinct (report identity).
+	m := NewNFA()
+	a := m.Add(symset.Single('a'), StartAllInput, false)
+	r1 := m.Add(symset.Single('b'), StartNone, true)
+	r2 := m.Add(symset.Single('b'), StartNone, true)
+	m.Connect(a, r1)
+	m.Connect(a, r2)
+	net := NewNetwork(m)
+	_, merged := MergeEquivalent(net)
+	if merged != 0 {
+		t.Fatalf("merged reporting states: %d", merged)
+	}
+}
+
+func TestMergeEquivalentStartKindsRespected(t *testing.T) {
+	m := NewNFA()
+	s1 := m.Add(symset.Single('a'), StartAllInput, false)
+	s2 := m.Add(symset.Single('a'), StartOfData, false)
+	r := m.Add(symset.Single('b'), StartNone, true)
+	m.Connect(s1, r)
+	m.Connect(s2, r)
+	net := NewNetwork(m)
+	_, merged := MergeEquivalent(net)
+	if merged != 0 {
+		t.Fatal("states with different start kinds merged")
+	}
+}
+
+func TestOptimizeTrie(t *testing.T) {
+	// Patterns "abc", "abd" built as independent chains: optimize must
+	// share the "ab" prefix: 6 states -> 4.
+	mk := func(s string) *NFA {
+		m := NewNFA()
+		prev := m.Add(symset.Single(s[0]), StartAllInput, false)
+		for i := 1; i < len(s); i++ {
+			cur := m.Add(symset.Single(s[i]), StartNone, i == len(s)-1)
+			m.Connect(prev, cur)
+			prev = cur
+		}
+		return m
+	}
+	// Merging is global: the chains may arrive as separate NFAs and still
+	// share their "ab" prefix, fusing into one NFA.
+	net := NewNetwork(mk("abc"), mk("abd"))
+	out, stats := Optimize(net)
+	if out.Len() != 4 {
+		t.Fatalf("optimized states = %d, want 4 (%v)", out.Len(), stats)
+	}
+	if out.NumNFAs() != 1 {
+		t.Fatalf("merged NFAs = %d, want 1 fused machine", out.NumNFAs())
+	}
+	if stats.Merged != 2 || stats.After != 4 || stats.Before != 6 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestMergeKeepsIndependentNFAsSeparate(t *testing.T) {
+	m1 := NewNFA()
+	a := m1.Add(symset.Single('a'), StartAllInput, false)
+	b := m1.Add(symset.Single('b'), StartNone, true)
+	m1.Connect(a, b)
+	m2 := NewNFA()
+	x := m2.Add(symset.Single('x'), StartAllInput, false)
+	y := m2.Add(symset.Single('y'), StartNone, true)
+	m2.Connect(x, y)
+	net := NewNetwork(m1, m2)
+	out, merged := MergeEquivalent(net)
+	if merged != 0 {
+		t.Fatalf("merged %d states of unrelated NFAs", merged)
+	}
+	if out.NumNFAs() != 2 {
+		t.Fatalf("NFAs = %d", out.NumNFAs())
+	}
+}
+
+// naiveReports is a tiny reference simulator for equivalence checking,
+// counting reports per position (identity-free, since merging renumbers).
+func naiveReports(net *Network, input []byte) []int {
+	enabled := make([]bool, net.Len())
+	out := make([]int, len(input))
+	for i := range input {
+		next := make([]bool, net.Len())
+		for s := 0; s < net.Len(); s++ {
+			en := enabled[s]
+			switch net.States[s].Start {
+			case StartAllInput:
+				en = true
+			case StartOfData:
+				if i == 0 {
+					en = true
+				}
+			}
+			if !en || !net.States[s].Match.Contains(input[i]) {
+				continue
+			}
+			if net.States[s].Report {
+				out[i]++
+			}
+			for _, v := range net.States[s].Succ {
+				next[v] = true
+			}
+		}
+		enabled = next
+	}
+	return out
+}
+
+// Property: Optimize preserves per-position report counts on random
+// networks and inputs (reporting states are never merged, so counts are
+// comparable).
+func TestPropOptimizePreservesReports(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	alphabet := []byte("abc")
+	for trial := 0; trial < 60; trial++ {
+		m := NewNFA()
+		n := 3 + r.Intn(10)
+		for s := 0; s < n; s++ {
+			start := StartNone
+			if s == 0 || r.Intn(6) == 0 {
+				start = StartAllInput
+			}
+			m.Add(symset.Single(alphabet[r.Intn(len(alphabet))]), start, r.Intn(4) == 0)
+		}
+		for e := 0; e < r.Intn(3*n); e++ {
+			m.Connect(StateID(r.Intn(n)), StateID(r.Intn(n)))
+		}
+		m.Dedup()
+		net := NewNetwork(m)
+		opt, _ := Optimize(net)
+		input := make([]byte, 1+r.Intn(30))
+		for i := range input {
+			input[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		want := naiveReports(net, input)
+		var got []int
+		if opt.Len() == 0 {
+			got = make([]int, len(input))
+		} else {
+			got = naiveReports(opt, input)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: report count at %d differs: %d vs %d (states %d->%d)",
+					trial, i, got[i], want[i], net.Len(), opt.Len())
+			}
+		}
+	}
+}
+
+// Property: Optimize is idempotent.
+func TestPropOptimizeIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		m := NewNFA()
+		n := 3 + r.Intn(12)
+		for s := 0; s < n; s++ {
+			start := StartNone
+			if s == 0 {
+				start = StartAllInput
+			}
+			m.Add(symset.Single(byte('a'+r.Intn(3))), start, r.Intn(4) == 0)
+		}
+		for e := 0; e < r.Intn(2*n); e++ {
+			m.Connect(StateID(r.Intn(n)), StateID(r.Intn(n)))
+		}
+		m.Dedup()
+		net := NewNetwork(m)
+		once, _ := Optimize(net)
+		if once.Len() == 0 {
+			continue
+		}
+		twice, stats := Optimize(once)
+		if twice.Len() != once.Len() {
+			t.Fatalf("trial %d: second Optimize changed %d -> %d (%v)",
+				trial, once.Len(), twice.Len(), stats)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package automata
+
+// Replicate returns a network containing copies of every NFA in net — the
+// state-scaling idiom the paper's introduction cites: the AP toolchain
+// duplicates an application's NFAs to process multiple input streams
+// concurrently (one replica per stream), and proposals like the Parallel
+// Automata Processor duplicate them for intra-stream parallelism. Either
+// way, the footprint multiplies and capacity pressure grows, which is
+// precisely the regime hot/cold partitioning targets.
+func Replicate(net *Network, copies int) *Network {
+	if copies <= 1 {
+		return net.Clone()
+	}
+	out := &Network{Offsets: []StateID{0}}
+	for c := 0; c < copies; c++ {
+		for nfa := 0; nfa < net.NumNFAs(); nfa++ {
+			out.Append(net.ExtractNFA(nfa))
+		}
+	}
+	return out
+}

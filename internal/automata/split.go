@@ -1,0 +1,73 @@
+package automata
+
+// SplitComponents partitions the states of m into weakly connected
+// components and returns one NFA per component, in order of each
+// component's smallest original state ID. This is how an ANML
+// automata-network (one flat list of STEs) is separated into the
+// independent NFAs the partitioner works on.
+func SplitComponents(m *NFA) []*NFA {
+	n := m.Len()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range m.States[u].Succ {
+			union(int32(u), int32(v))
+		}
+	}
+	// Assign dense component indices in order of first appearance.
+	compOf := make([]int32, n)
+	index := make(map[int32]int32)
+	var order []int32
+	for i := 0; i < n; i++ {
+		r := find(int32(i))
+		c, ok := index[r]
+		if !ok {
+			c = int32(len(order))
+			index[r] = c
+			order = append(order, r)
+		}
+		compOf[i] = c
+	}
+	// Build per-component NFAs with remapped IDs.
+	out := make([]*NFA, len(order))
+	newID := make([]StateID, n)
+	for i := range out {
+		out[i] = NewNFA()
+	}
+	for i := 0; i < n; i++ {
+		c := compOf[i]
+		newID[i] = out[c].AddState(State{
+			Match:  m.States[i].Match,
+			Start:  m.States[i].Start,
+			Report: m.States[i].Report,
+			Name:   m.States[i].Name,
+		})
+	}
+	for u := 0; u < n; u++ {
+		c := compOf[u]
+		for _, v := range m.States[u].Succ {
+			out[c].Connect(newID[u], newID[v])
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package automata
+
+import (
+	"testing"
+
+	"sparseap/internal/symset"
+)
+
+func TestSplitComponentsTwoIslands(t *testing.T) {
+	m := NewNFA()
+	a := m.Add(symset.Single('a'), StartAllInput, false)
+	b := m.Add(symset.Single('b'), StartNone, true)
+	x := m.Add(symset.Single('x'), StartAllInput, false)
+	y := m.Add(symset.Single('y'), StartNone, true)
+	m.Connect(a, b)
+	m.Connect(x, y)
+	parts := SplitComponents(m)
+	if len(parts) != 2 {
+		t.Fatalf("components = %d, want 2", len(parts))
+	}
+	if parts[0].Len() != 2 || parts[1].Len() != 2 {
+		t.Fatalf("component sizes = %d,%d", parts[0].Len(), parts[1].Len())
+	}
+	// Interleave: a x b y — components ordered by first appearance.
+	if !parts[0].States[0].Match.Contains('a') {
+		t.Error("first component should contain 'a' state")
+	}
+	if !parts[1].States[0].Match.Contains('x') {
+		t.Error("second component should contain 'x' state")
+	}
+}
+
+func TestSplitComponentsInterleaved(t *testing.T) {
+	m := NewNFA()
+	a := m.Add(symset.Single('a'), StartAllInput, false) // comp 0
+	x := m.Add(symset.Single('x'), StartAllInput, false) // comp 1
+	b := m.Add(symset.Single('b'), StartNone, true)      // comp 0
+	y := m.Add(symset.Single('y'), StartNone, true)      // comp 1
+	m.Connect(a, b)
+	m.Connect(x, y)
+	parts := SplitComponents(m)
+	if len(parts) != 2 {
+		t.Fatalf("components = %d, want 2", len(parts))
+	}
+	// Edges must be remapped into local IDs.
+	for _, p := range parts {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if p.States[0].Succ[0] != 1 {
+			t.Errorf("remapped edge = %v", p.States[0].Succ)
+		}
+	}
+}
+
+func TestSplitComponentsBackEdgeOnlyConnectivity(t *testing.T) {
+	// Weak connectivity: u->v and w->v put u,v,w in one component.
+	m := NewNFA()
+	u := m.Add(symset.Single('u'), StartAllInput, false)
+	v := m.Add(symset.Single('v'), StartNone, true)
+	w := m.Add(symset.Single('w'), StartAllInput, false)
+	m.Connect(u, v)
+	m.Connect(w, v)
+	parts := SplitComponents(m)
+	if len(parts) != 1 || parts[0].Len() != 3 {
+		t.Fatalf("components = %d, want 1 of size 3", len(parts))
+	}
+}
+
+func TestSplitComponentsSingletons(t *testing.T) {
+	m := NewNFA()
+	for i := 0; i < 5; i++ {
+		m.Add(symset.Single('a'), StartAllInput, true)
+	}
+	parts := SplitComponents(m)
+	if len(parts) != 5 {
+		t.Fatalf("components = %d, want 5", len(parts))
+	}
+}

@@ -1,0 +1,117 @@
+// Package bitvec implements dynamic bit vectors used for NFA state vectors,
+// ever-enabled (hot) sets, and other dense per-state flags.
+package bitvec
+
+import "math/bits"
+
+// Vec is a fixed-length bit vector. Create one with New; the zero value is
+// an empty vector of length 0.
+type Vec struct {
+	words []uint64
+	n     int
+}
+
+// New returns a vector of n bits, all zero.
+func New(n int) *Vec {
+	return &Vec{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vec) Len() int { return v.n }
+
+// Set sets bit i to 1.
+func (v *Vec) Set(i int) { v.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear sets bit i to 0.
+func (v *Vec) Clear(i int) { v.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports whether bit i is 1.
+func (v *Vec) Get(i int) bool { return v.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// TestAndSet sets bit i and reports whether it was previously 0.
+func (v *Vec) TestAndSet(i int) bool {
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	if v.words[w]&m != 0 {
+		return false
+	}
+	v.words[w] |= m
+	return true
+}
+
+// Reset clears all bits.
+func (v *Vec) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (v *Vec) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether any bit is set.
+func (v *Vec) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Or sets v |= u. The vectors must have the same length.
+func (v *Vec) Or(u *Vec) {
+	for i, w := range u.words {
+		v.words[i] |= w
+	}
+}
+
+// AndNot sets v &^= u. The vectors must have the same length.
+func (v *Vec) AndNot(u *Vec) {
+	for i, w := range u.words {
+		v.words[i] &^= w
+	}
+}
+
+// Clone returns a copy of v.
+func (v *Vec) Clone() *Vec {
+	w := make([]uint64, len(v.words))
+	copy(w, v.words)
+	return &Vec{words: w, n: v.n}
+}
+
+// Equal reports whether v and u have identical length and contents.
+func (v *Vec) Equal(u *Vec) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for each set bit index in ascending order.
+func (v *Vec) ForEach(fn func(i int)) {
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the indices of all set bits in ascending order.
+func (v *Vec) Indices() []int {
+	out := make([]int, 0, v.Count())
+	v.ForEach(func(i int) { out = append(out, i) })
+	return out
+}

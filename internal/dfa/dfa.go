@@ -1,0 +1,191 @@
+// Package dfa implements lazy subset construction over the homogeneous NFA
+// model — the classic CPU-side alternative the paper's related work
+// contrasts with AP execution. A DFA state is a set of dynamically enabled
+// NFA states; transitions are built on demand and cached, so common
+// workloads pay the exponential blow-up only where the input actually
+// drives it. A configurable state cap turns pathological blow-up into an
+// error instead of an OOM.
+package dfa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/bitvec"
+)
+
+// DefaultMaxStates caps the constructed DFA by default.
+const DefaultMaxStates = 1 << 16
+
+// ErrStateExplosion reports that subset construction exceeded the cap.
+var ErrStateExplosion = fmt.Errorf("dfa: state explosion: subset construction exceeded the configured cap")
+
+// edge is one cached transition: successor D-state and the reporting NFA
+// states activated by taking it.
+type edge struct {
+	next    *dstate
+	reports []automata.StateID
+}
+
+// dstate is one DFA state: a canonical set of dynamically enabled NFA
+// states (all-input starts are implicit — they are enabled everywhere).
+type dstate struct {
+	enabled []automata.StateID
+	trans   [256]*edge
+}
+
+// DFA lazily determinizes a network.
+type DFA struct {
+	net *automata.Network
+	// startAct[b] lists the all-input starts activated by symbol b.
+	startAct [256][]automata.StateID
+	states   map[string]*dstate
+	initial  *dstate
+	max      int
+	scratch  *bitvec.Vec
+}
+
+// Options configures construction.
+type Options struct {
+	// MaxStates caps the number of D-states (0 = DefaultMaxStates).
+	MaxStates int
+}
+
+// New prepares a lazy DFA for net.
+func New(net *automata.Network, opts Options) *DFA {
+	d := &DFA{
+		net:     net,
+		states:  make(map[string]*dstate),
+		max:     opts.MaxStates,
+		scratch: bitvec.New(net.Len()),
+	}
+	if d.max == 0 {
+		d.max = DefaultMaxStates
+	}
+	var initial []automata.StateID
+	for s := range net.States {
+		switch net.States[s].Start {
+		case automata.StartAllInput:
+			for c := 0; c < 256; c++ {
+				if net.States[s].Match.Contains(byte(c)) {
+					d.startAct[c] = append(d.startAct[c], automata.StateID(s))
+				}
+			}
+		case automata.StartOfData:
+			initial = append(initial, automata.StateID(s))
+		}
+	}
+	d.initial = d.intern(initial)
+	return d
+}
+
+// NumStates returns the number of D-states constructed so far.
+func (d *DFA) NumStates() int { return len(d.states) }
+
+// key canonicalizes an enabled set (callers pass sorted, deduped slices).
+func key(enabled []automata.StateID) string {
+	buf := make([]byte, 4*len(enabled))
+	for i, s := range enabled {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(s))
+	}
+	return string(buf)
+}
+
+// intern returns the canonical dstate for the enabled set, creating it if
+// new. The slice must be sorted and deduped.
+func (d *DFA) intern(enabled []automata.StateID) *dstate {
+	k := key(enabled)
+	if st, ok := d.states[k]; ok {
+		return st
+	}
+	st := &dstate{enabled: append([]automata.StateID(nil), enabled...)}
+	d.states[k] = st
+	return st
+}
+
+// step computes (and caches) the transition from st on symbol b.
+func (d *DFA) step(st *dstate, b byte) (*edge, error) {
+	if e := st.trans[b]; e != nil {
+		return e, nil
+	}
+	e := &edge{}
+	var next []automata.StateID
+	activate := func(s automata.StateID) {
+		state := &d.net.States[s]
+		if state.Report {
+			e.reports = append(e.reports, s)
+		}
+		for _, v := range state.Succ {
+			if d.net.States[v].Start == automata.StartAllInput {
+				continue
+			}
+			if d.scratch.TestAndSet(int(v)) {
+				next = append(next, v)
+			}
+		}
+	}
+	for _, s := range st.enabled {
+		if d.net.States[s].Match.Contains(b) {
+			activate(s)
+		}
+	}
+	for _, s := range d.startAct[b] {
+		activate(s)
+	}
+	for _, v := range next {
+		d.scratch.Clear(int(v))
+	}
+	sort.Slice(next, func(a, b int) bool { return next[a] < next[b] })
+	if len(d.states) >= d.max {
+		if _, exists := d.states[key(next)]; !exists {
+			return nil, ErrStateExplosion
+		}
+	}
+	e.next = d.intern(next)
+	st.trans[b] = e
+	return e, nil
+}
+
+// Run executes the DFA over input, invoking onReport for every report.
+// The construction is incremental: repeated runs reuse cached transitions.
+func (d *DFA) Run(input []byte, onReport func(pos int64, s automata.StateID)) error {
+	cur := d.initial
+	for i, b := range input {
+		e, err := d.step(cur, b)
+		if err != nil {
+			return fmt.Errorf("%w (at input position %d)", err, i)
+		}
+		if onReport != nil {
+			for _, s := range e.reports {
+				onReport(int64(i), s)
+			}
+		}
+		cur = e.next
+	}
+	return nil
+}
+
+// Materialize eagerly constructs every reachable transition (256 per
+// D-state) and returns the total D-state count. Useful for measuring the
+// true determinization cost of a rule set.
+func (d *DFA) Materialize() (int, error) {
+	work := []*dstate{d.initial}
+	seen := map[*dstate]bool{d.initial: true}
+	for len(work) > 0 {
+		st := work[len(work)-1]
+		work = work[:len(work)-1]
+		for c := 0; c < 256; c++ {
+			e, err := d.step(st, byte(c))
+			if err != nil {
+				return len(d.states), err
+			}
+			if !seen[e.next] {
+				seen[e.next] = true
+				work = append(work, e.next)
+			}
+		}
+	}
+	return len(d.states), nil
+}

@@ -1,0 +1,155 @@
+package dfa
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/regexc"
+	"sparseap/internal/sim"
+	"sparseap/internal/symset"
+)
+
+func compile(t *testing.T, patterns ...string) *automata.Network {
+	t.Helper()
+	net, err := regexc.CompileAll(patterns, regexc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func runDFA(t *testing.T, net *automata.Network, input []byte) []sim.Report {
+	t.Helper()
+	d := New(net, Options{})
+	var out []sim.Report
+	if err := d.Run(input, func(pos int64, s automata.StateID) {
+		out = append(out, sim.Report{Pos: pos, State: s})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDFAMatchesSimple(t *testing.T) {
+	net := compile(t, "abc")
+	got := runDFA(t, net, []byte("xxabcxabc"))
+	if len(got) != 2 || got[0].Pos != 4 || got[1].Pos != 8 {
+		t.Fatalf("reports = %v", got)
+	}
+}
+
+func TestDFAStartOfData(t *testing.T) {
+	net := compile(t, "^ab")
+	if got := runDFA(t, net, []byte("abab")); len(got) != 1 || got[0].Pos != 1 {
+		t.Fatalf("reports = %v", got)
+	}
+	if got := runDFA(t, net, []byte("xab")); len(got) != 0 {
+		t.Fatalf("anchored match found mid-stream: %v", got)
+	}
+}
+
+func TestDFACachesTransitions(t *testing.T) {
+	net := compile(t, "ab")
+	d := New(net, Options{})
+	if err := d.Run([]byte("ababab"), nil); err != nil {
+		t.Fatal(err)
+	}
+	n1 := d.NumStates()
+	if err := d.Run([]byte("ababab"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumStates() != n1 {
+		t.Fatalf("second run grew the DFA: %d -> %d", n1, d.NumStates())
+	}
+	if n1 < 2 {
+		t.Fatalf("suspiciously small DFA: %d states", n1)
+	}
+}
+
+func TestDFAStateExplosionCapped(t *testing.T) {
+	// The classic (a|b)*a(a|b){n} family is exponential in n.
+	net := compile(t, "[ab]*a[ab]{14}")
+	d := New(net, Options{MaxStates: 64})
+	r := rand.New(rand.NewSource(1))
+	input := make([]byte, 4096)
+	for i := range input {
+		input[i] = byte('a' + r.Intn(2))
+	}
+	err := d.Run(input, nil)
+	if !errors.Is(err, ErrStateExplosion) {
+		t.Fatalf("err = %v, want ErrStateExplosion", err)
+	}
+}
+
+func TestDFAMaterialize(t *testing.T) {
+	net := compile(t, "ab", "ac")
+	d := New(net, Options{})
+	n, err := d.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("materialized %d states", n)
+	}
+	// After materialization, a run must not add states.
+	if err := d.Run([]byte("abacabac"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumStates() != n {
+		t.Fatalf("run after Materialize grew the DFA: %d -> %d", n, d.NumStates())
+	}
+}
+
+// Property: the DFA agrees with the NFA simulator report-for-report on
+// random networks (including cyclic ones — determinization handles them).
+func TestPropDFAEqualsNFA(t *testing.T) {
+	r := rand.New(rand.NewSource(606))
+	alphabet := []byte("abcd")
+	for trial := 0; trial < 60; trial++ {
+		m := automata.NewNFA()
+		n := 2 + r.Intn(10)
+		for s := 0; s < n; s++ {
+			var set symset.Set
+			for k := 0; k <= r.Intn(3); k++ {
+				set.Add(alphabet[r.Intn(len(alphabet))])
+			}
+			start := automata.StartNone
+			switch r.Intn(5) {
+			case 0:
+				start = automata.StartAllInput
+			case 1:
+				start = automata.StartOfData
+			}
+			m.Add(set, start, r.Intn(3) == 0)
+		}
+		if m.States[0].Start == automata.StartNone {
+			m.States[0].Start = automata.StartAllInput
+		}
+		for e := 0; e < r.Intn(2*n); e++ {
+			m.Connect(automata.StateID(r.Intn(n)), automata.StateID(r.Intn(n)))
+		}
+		m.Dedup()
+		net := automata.NewNetwork(m)
+		input := make([]byte, 1+r.Intn(60))
+		for i := range input {
+			input[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		want := sim.Run(net, input, sim.Options{CollectReports: true}).Reports
+		got := runDFA(t, net, input)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d DFA vs %d NFA reports", trial, len(got), len(want))
+		}
+		counts := map[sim.Report]int{}
+		for _, rep := range want {
+			counts[rep]++
+		}
+		for _, rep := range got {
+			counts[rep]--
+			if counts[rep] < 0 {
+				t.Fatalf("trial %d: extra DFA report %+v", trial, rep)
+			}
+		}
+	}
+}

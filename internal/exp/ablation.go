@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+
+	"sparseap/internal/hotcold"
+	"sparseap/internal/metrics"
+	"sparseap/internal/spap"
+	"sparseap/internal/workloads"
+)
+
+// AblationRow compares the paper's profiled partitioning against the
+// behaviour-blind baselines and the oracle upper bound for one application
+// (BaseAP/SpAP speedups over the baseline AP).
+type AblationRow struct {
+	Abbr      string
+	Profiled  float64 // paper scheme, 1% profiling
+	Fixed     float64 // same absolute layer for every NFA
+	NormDepth float64 // same normalized depth for every NFA
+	Oracle    float64 // layers chosen with test-input knowledge
+}
+
+// AblationResult is the partition-strategy ablation study: it isolates how
+// much of the speedup comes from the profiling information versus the
+// topological cut mechanism itself.
+type AblationResult struct {
+	Capacity   int
+	FixedParam float64
+	DepthParam float64
+	Rows       []AblationRow
+	// Geomeans over the row set.
+	GeoProfiled, GeoFixed, GeoNormDepth, GeoOracle float64
+}
+
+// Ablation runs the four strategies on the high+medium applications. The
+// fixed cut uses 4 layers; the normalized-depth cut uses 0.3 (the paper's
+// "shallow" boundary).
+func Ablation(s *Suite) (*AblationResult, error) {
+	apps, err := s.Apps(workloads.HighMediumNames())
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Capacity: s.AP.Capacity, FixedParam: 4, DepthParam: 0.3}
+	var g1, g2, g3, g4 []float64
+	for _, a := range apps {
+		base, err := a.BaselineCycles(s.AP.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		row := AblationRow{Abbr: a.Abbr()}
+		if row.Profiled, err = a.SpeedupBaseAPSpAP(0.01, s.AP.Capacity); err != nil {
+			return nil, err
+		}
+		run := func(st hotcold.Strategy, in hotcold.StrategyInput) (float64, error) {
+			p, err := hotcold.BuildWithStrategy(a.App.Net, st, in, hotcold.Options{Capacity: s.AP.Capacity})
+			if err != nil {
+				return 0, fmt.Errorf("%s/%v: %w", a.Abbr(), st, err)
+			}
+			r, err := spap.RunBaseAPSpAP(p, a.TestInput(), s.AP, spap.Options{})
+			if err != nil {
+				return 0, fmt.Errorf("%s/%v: %w", a.Abbr(), st, err)
+			}
+			return float64(base) / float64(r.TotalCycles), nil
+		}
+		if row.Fixed, err = run(hotcold.StrategyFixedLayers, hotcold.StrategyInput{Param: res.FixedParam}); err != nil {
+			return nil, err
+		}
+		if row.NormDepth, err = run(hotcold.StrategyNormalizedDepth, hotcold.StrategyInput{Param: res.DepthParam}); err != nil {
+			return nil, err
+		}
+		if row.Oracle, err = run(hotcold.StrategyOracle, hotcold.StrategyInput{OracleHot: a.TestHot()}); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+		g1 = append(g1, row.Profiled)
+		g2 = append(g2, row.Fixed)
+		g3 = append(g3, row.NormDepth)
+		g4 = append(g4, row.Oracle)
+	}
+	res.GeoProfiled = metrics.GeoMean(g1)
+	res.GeoFixed = metrics.GeoMean(g2)
+	res.GeoNormDepth = metrics.GeoMean(g3)
+	res.GeoOracle = metrics.GeoMean(g4)
+	return res, nil
+}
+
+// Render formats the ablation table.
+func (r *AblationResult) Render() string {
+	t := metrics.NewTable("App", "Profiled 1%", fmt.Sprintf("Fixed k=%.0f", r.FixedParam),
+		fmt.Sprintf("Depth %.1f", r.DepthParam), "Oracle")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Abbr, row.Profiled, row.Fixed, row.NormDepth, row.Oracle)
+	}
+	t.AddRowf("geomean", r.GeoProfiled, r.GeoFixed, r.GeoNormDepth, r.GeoOracle)
+	return fmt.Sprintf("Ablation: partition strategies, BaseAP/SpAP speedup (capacity %d)\n%s", r.Capacity, t)
+}

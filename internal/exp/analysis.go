@@ -1,0 +1,268 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/graph"
+	"sparseap/internal/hotcold"
+	"sparseap/internal/metrics"
+	"sparseap/internal/workloads"
+)
+
+// Fig1Row is one bar of Figure 1: the hot/cold split of an application.
+type Fig1Row struct {
+	Abbr    string
+	Hot     int
+	Cold    int
+	HotFrac float64
+}
+
+// Fig1Result reproduces Figure 1: percentage of hot vs cold states per
+// application, sorted ascending by hot fraction.
+type Fig1Result struct {
+	Rows        []Fig1Row
+	AvgColdFrac float64
+}
+
+// Fig1 measures hot/cold state fractions across all 26 applications.
+func Fig1(s *Suite) (*Fig1Result, error) {
+	apps, err := s.Apps(workloads.Names())
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{}
+	sumCold := 0.0
+	for _, a := range apps {
+		hot := a.FullHot().Count()
+		total := a.App.Net.Len()
+		row := Fig1Row{
+			Abbr:    a.Abbr(),
+			Hot:     hot,
+			Cold:    total - hot,
+			HotFrac: float64(hot) / float64(total),
+		}
+		sumCold += 1 - row.HotFrac
+		res.Rows = append(res.Rows, row)
+	}
+	res.AvgColdFrac = sumCold / float64(len(res.Rows))
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].HotFrac < res.Rows[j].HotFrac })
+	return res, nil
+}
+
+// Render formats the figure as a text table.
+func (r *Fig1Result) Render() string {
+	t := metrics.NewTable("App", "Hot%", "Cold%", "#Hot", "#Cold")
+	for _, row := range r.Rows {
+		t.AddRow(row.Abbr, metrics.Pct(row.HotFrac), metrics.Pct(1-row.HotFrac),
+			fmt.Sprint(row.Hot), fmt.Sprint(row.Cold))
+	}
+	return fmt.Sprintf("Figure 1: hot vs cold states (avg cold %.0f%%)\n%s",
+		100*r.AvgColdFrac, t)
+}
+
+// Fig5Row is one application's normalized-depth distribution for either
+// hot or cold states, bucketed per Figure 5.
+type Fig5Row struct {
+	Abbr                  string
+	Shallow, Medium, Deep float64 // fractions summing to 1 (or 0 if empty)
+}
+
+// Fig5Result reproduces Figure 5(a)/(b) plus the depth/hotness correlation
+// the paper reports in Section III-B.
+type Fig5Result struct {
+	Hot            []Fig5Row
+	Cold           []Fig5Row
+	AvgCorrelation float64 // avg Pearson r of (depth bucket hotness) per app
+}
+
+// Fig5 computes the normalized-depth distributions of hot and cold states.
+func Fig5(s *Suite) (*Fig5Result, error) {
+	apps, err := s.Apps(workloads.Names())
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{}
+	var corrs []float64
+	for _, a := range apps {
+		topo := a.Topo()
+		hot := a.FullHot()
+		var hotN, coldN [3]int
+		// Per-depth-decile hot fraction for the correlation statistic.
+		var binHot, binTotal [10]int
+		for st := 0; st < a.App.Net.Len(); st++ {
+			d := topo.NormalizedDepth(a.App.Net, automata.StateID(st))
+			b := graph.Bucket(d)
+			bin := int(d * 10)
+			if bin > 9 {
+				bin = 9
+			}
+			binTotal[bin]++
+			if hot.Get(st) {
+				hotN[b]++
+				binHot[bin]++
+			} else {
+				coldN[b]++
+			}
+		}
+		res.Hot = append(res.Hot, bucketRow(a.Abbr(), hotN))
+		res.Cold = append(res.Cold, bucketRow(a.Abbr(), coldN))
+		var xs, ys []float64
+		for i := 0; i < 10; i++ {
+			if binTotal[i] == 0 {
+				continue
+			}
+			xs = append(xs, float64(i)/10)
+			ys = append(ys, float64(binHot[i])/float64(binTotal[i]))
+		}
+		if c := metrics.Correlation(xs, ys); c == c { // skip NaN
+			corrs = append(corrs, c)
+		}
+	}
+	res.AvgCorrelation = metrics.Mean(corrs)
+	return res, nil
+}
+
+func bucketRow(abbr string, n [3]int) Fig5Row {
+	total := n[0] + n[1] + n[2]
+	if total == 0 {
+		return Fig5Row{Abbr: abbr}
+	}
+	return Fig5Row{
+		Abbr:    abbr,
+		Shallow: float64(n[0]) / float64(total),
+		Medium:  float64(n[1]) / float64(total),
+		Deep:    float64(n[2]) / float64(total),
+	}
+}
+
+// Render formats both panels.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5(a): normalized depth distribution of HOT states\n")
+	b.WriteString(renderFig5Rows(r.Hot))
+	b.WriteString("\nFigure 5(b): normalized depth distribution of COLD states\n")
+	b.WriteString(renderFig5Rows(r.Cold))
+	fmt.Fprintf(&b, "\nAvg depth-vs-hotness correlation: %.2f (paper: -0.82)\n", r.AvgCorrelation)
+	return b.String()
+}
+
+func renderFig5Rows(rows []Fig5Row) string {
+	t := metrics.NewTable("App", "shallow[0,.3)", "medium[.3,.6)", "deep[.6,1]")
+	for _, row := range rows {
+		t.AddRow(row.Abbr, metrics.Pct(row.Shallow), metrics.Pct(row.Medium), metrics.Pct(row.Deep))
+	}
+	return t.String()
+}
+
+// Table1Row is one column of Table I (one profiling-input size).
+type Table1Row struct {
+	Fraction  float64
+	Accuracy  float64
+	Recall    float64
+	Precision float64
+	// MinRecall/MaxRecall give the cross-application recall range the
+	// paper quotes (49%-100% at 1%).
+	MinRecall, MaxRecall float64
+}
+
+// Table1Result reproduces Table I: profiling effectiveness at four sizes,
+// averaged over 24 applications (Fermi and SPM excluded, as in the paper).
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 evaluates profiling-based prediction quality.
+func Table1(s *Suite) (*Table1Result, error) {
+	var names []string
+	for _, n := range workloads.Names() {
+		if n == "Fermi" || n == "SPM" {
+			continue
+		}
+		names = append(names, n)
+	}
+	apps, err := s.Apps(names)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{}
+	for _, frac := range ProfileFractions {
+		row := Table1Row{Fraction: frac, MinRecall: 1}
+		var acc, rec, prec []float64
+		for _, a := range apps {
+			pred := hotcold.Profile(a.App.Net, a.ProfileInput(frac))
+			c := hotcold.Quality(pred, a.TestHot())
+			acc = append(acc, c.Accuracy())
+			r := c.Recall()
+			rec = append(rec, r)
+			prec = append(prec, c.Precision())
+			if r < row.MinRecall {
+				row.MinRecall = r
+			}
+			if r > row.MaxRecall {
+				row.MaxRecall = r
+			}
+		}
+		row.Accuracy = metrics.Mean(acc)
+		row.Recall = metrics.Mean(rec)
+		row.Precision = metrics.Mean(prec)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats Table I.
+func (r *Table1Result) Render() string {
+	t := metrics.NewTable("Input%", "Accuracy", "Recall", "Precision", "Recall range")
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprintf("%.1f%%", 100*row.Fraction),
+			metrics.Pct(row.Accuracy), metrics.Pct(row.Recall), metrics.Pct(row.Precision),
+			fmt.Sprintf("%s-%s", metrics.Pct(row.MinRecall), metrics.Pct(row.MaxRecall)),
+		)
+	}
+	return "Table I: effectiveness of profile-based prediction\n" + t.String()
+}
+
+// Fig8Row is one application's constrained-state fraction.
+type Fig8Row struct {
+	Abbr        string
+	Constrained float64
+}
+
+// Fig8Result reproduces Figure 8: the extra states a perfect
+// topological-order partition configures versus an arbitrary-edge perfect
+// partition.
+type Fig8Result struct {
+	Rows []Fig8Row
+	Avg  float64
+}
+
+// Fig8 computes constrained-state fractions with oracle hot sets.
+func Fig8(s *Suite) (*Fig8Result, error) {
+	apps, err := s.Apps(workloads.Names())
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{}
+	var vals []float64
+	for _, a := range apps {
+		c := hotcold.ConstrainedStates(a.App.Net, a.Topo(), a.FullHot())
+		res.Rows = append(res.Rows, Fig8Row{Abbr: a.Abbr(), Constrained: c})
+		vals = append(vals, c)
+	}
+	res.Avg = metrics.Mean(vals)
+	return res, nil
+}
+
+// Render formats Figure 8.
+func (r *Fig8Result) Render() string {
+	t := metrics.NewTable("App", "Constrained%")
+	for _, row := range r.Rows {
+		t.AddRow(row.Abbr, metrics.Pct(row.Constrained))
+	}
+	return fmt.Sprintf("Figure 8: constrained states under perfect topological partitioning (avg %s, paper: 4%%)\n%s",
+		metrics.Pct(r.Avg), t)
+}

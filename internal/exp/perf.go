@@ -1,0 +1,378 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sparseap/internal/ap"
+	"sparseap/internal/metrics"
+	"sparseap/internal/workloads"
+)
+
+// Fig10Row carries one application's speedups under both systems and both
+// profiling sizes, plus the Figure 10(b) resource savings.
+type Fig10Row struct {
+	Abbr     string
+	APCPU01  float64 // AP-CPU speedup, 0.1% profiling
+	APCPU1   float64 // AP-CPU speedup, 1% profiling
+	SpAP01   float64 // BaseAP/SpAP speedup, 0.1% profiling
+	SpAP1    float64 // BaseAP/SpAP speedup, 1% profiling
+	Saving01 float64 // resource saving, 0.1% profiling
+	Saving1  float64 // resource saving, 1% profiling
+}
+
+// Fig10Result reproduces Figures 10(a) and 10(b) over the high and medium
+// groups at the half-core capacity.
+type Fig10Result struct {
+	Capacity int
+	Rows     []Fig10Row
+	// Geomeans across the row set.
+	GeoAPCPU01, GeoAPCPU1, GeoSpAP01, GeoSpAP1 float64
+}
+
+// Fig10 runs both systems on the high+medium applications.
+func Fig10(s *Suite) (*Fig10Result, error) {
+	return speedupStudy(s, workloads.HighMediumNames(), s.AP.Capacity)
+}
+
+// speedupStudy is the shared engine for Figures 10 and 13.
+func speedupStudy(s *Suite, names []string, capacity int) (*Fig10Result, error) {
+	apps, err := s.Apps(names)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10Result{Capacity: capacity}
+	var g1, g2, g3, g4 []float64
+	for _, a := range apps {
+		row := Fig10Row{Abbr: a.Abbr()}
+		if row.APCPU01, err = a.SpeedupAPCPU(0.001, capacity); err != nil {
+			return nil, err
+		}
+		if row.APCPU1, err = a.SpeedupAPCPU(0.01, capacity); err != nil {
+			return nil, err
+		}
+		if row.SpAP01, err = a.SpeedupBaseAPSpAP(0.001, capacity); err != nil {
+			return nil, err
+		}
+		if row.SpAP1, err = a.SpeedupBaseAPSpAP(0.01, capacity); err != nil {
+			return nil, err
+		}
+		p01, err := a.Partition(0.001, capacity)
+		if err != nil {
+			return nil, err
+		}
+		p1, err := a.Partition(0.01, capacity)
+		if err != nil {
+			return nil, err
+		}
+		row.Saving01 = p01.ResourceSaving()
+		row.Saving1 = p1.ResourceSaving()
+		res.Rows = append(res.Rows, row)
+		g1 = append(g1, row.APCPU01)
+		g2 = append(g2, row.APCPU1)
+		g3 = append(g3, row.SpAP01)
+		g4 = append(g4, row.SpAP1)
+	}
+	res.GeoAPCPU01 = metrics.GeoMean(g1)
+	res.GeoAPCPU1 = metrics.GeoMean(g2)
+	res.GeoSpAP01 = metrics.GeoMean(g3)
+	res.GeoSpAP1 = metrics.GeoMean(g4)
+	return res, nil
+}
+
+// Render formats Figure 10(a) and 10(b).
+func (r *Fig10Result) Render() string {
+	t := metrics.NewTable("App", "AP-CPU 0.1%", "AP-CPU 1%", "SpAP 0.1%", "SpAP 1%")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Abbr, row.APCPU01, row.APCPU1, row.SpAP01, row.SpAP1)
+	}
+	t.AddRowf("geomean", r.GeoAPCPU01, r.GeoAPCPU1, r.GeoSpAP01, r.GeoSpAP1)
+	t2 := metrics.NewTable("App", "Saving 0.1%", "Saving 1%")
+	for _, row := range r.Rows {
+		t2.AddRow(row.Abbr, metrics.Pct(row.Saving01), metrics.Pct(row.Saving1))
+	}
+	return fmt.Sprintf("Figure 10(a): speedup over baseline AP (capacity %d)\n%s\nFigure 10(b): resource savings\n%s",
+		r.Capacity, t, t2)
+}
+
+// Fig11Row is the performance-per-STE comparison at one AP size.
+type Fig11Row struct {
+	Capacity int
+	// Mean performance/STE across all 26 applications, ×1e6 for
+	// readability (symbols/cycle/STE).
+	BaselineMean float64
+	SpAPMean     float64
+	ImprovePct   float64
+}
+
+// Fig11Result reproduces Figure 11: performance/STE across AP sizes under
+// BaseAP/SpAP with 1% profiling.
+type Fig11Result struct {
+	Rows []Fig11Row
+}
+
+// Fig11 sweeps AP capacities (the paper's 6K/12K/24K/49K, scaled like the
+// suite's half-core).
+func Fig11(s *Suite, capacities []int) (*Fig11Result, error) {
+	apps, err := s.Apps(workloads.Names())
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{}
+	for _, c := range capacities {
+		var base, spapv []float64
+		for _, a := range apps {
+			if tooBigForCapacity(a, c) {
+				continue
+			}
+			n := len(a.TestInput())
+			bc, err := a.BaselineCycles(c)
+			if err != nil {
+				return nil, err
+			}
+			run, err := a.RunBaseAPSpAP(0.01, c)
+			if err != nil {
+				return nil, err
+			}
+			base = append(base, ap.PerfPerSTE(n, bc, c))
+			spapv = append(spapv, ap.PerfPerSTE(n, run.TotalCycles, c))
+		}
+		row := Fig11Row{
+			Capacity:     c,
+			BaselineMean: metrics.Mean(base) * 1e6,
+			SpAPMean:     metrics.Mean(spapv) * 1e6,
+		}
+		row.ImprovePct = 100 * (row.SpAPMean/row.BaselineMean - 1)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// tooBigForCapacity reports whether some NFA of the application exceeds the
+// half-core capacity (such applications cannot run at that size at all).
+func tooBigForCapacity(a *AppData, capacity int) bool {
+	net := a.App.Net
+	for i := 0; i < net.NumNFAs(); i++ {
+		if net.NFASize(i) > capacity {
+			return true
+		}
+	}
+	return false
+}
+
+// Render formats Figure 11.
+func (r *Fig11Result) Render() string {
+	t := metrics.NewTable("Capacity", "Baseline perf/STE (×1e-6)", "BaseAP/SpAP (×1e-6)", "Improvement")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprint(row.Capacity),
+			fmt.Sprintf("%.3f", row.BaselineMean),
+			fmt.Sprintf("%.3f", row.SpAPMean),
+			fmt.Sprintf("%+.1f%%", row.ImprovePct))
+	}
+	return "Figure 11: performance per STE across AP sizes (1% profiling)\n" + t.String()
+}
+
+// Fig12Row compares reporting-state counts against the baseline.
+type Fig12Row struct {
+	Abbr     string
+	Baseline int
+	// True/IM at each profiling size: original reporting states kept in
+	// BaseAP mode and added intermediate reporting states.
+	True01, IM01 int
+	True1, IM1   int
+}
+
+// Fig12Result reproduces Figure 12.
+type Fig12Result struct {
+	Rows []Fig12Row
+}
+
+// Fig12 counts reporting states in the BaseAP-mode configuration.
+func Fig12(s *Suite) (*Fig12Result, error) {
+	apps, err := s.Apps(workloads.HighMediumNames())
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{}
+	for _, a := range apps {
+		row := Fig12Row{Abbr: a.Abbr(), Baseline: a.App.Net.ComputeStats().Reporting}
+		p01, err := a.Partition(0.001, s.AP.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		p1, err := a.Partition(0.01, s.AP.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		row.True01, row.IM01 = p01.ReportingStates()
+		row.True1, row.IM1 = p1.ReportingStates()
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats Figure 12 (counts normalized to the baseline).
+func (r *Fig12Result) Render() string {
+	t := metrics.NewTable("App", "True 0.1%", "IM 0.1%", "Norm 0.1%", "True 1%", "IM 1%", "Norm 1%")
+	for _, row := range r.Rows {
+		n01 := float64(row.True01+row.IM01) / float64(row.Baseline)
+		n1 := float64(row.True1+row.IM1) / float64(row.Baseline)
+		t.AddRow(row.Abbr,
+			fmt.Sprint(row.True01), fmt.Sprint(row.IM01), fmt.Sprintf("%.2f", n01),
+			fmt.Sprint(row.True1), fmt.Sprint(row.IM1), fmt.Sprintf("%.2f", n1))
+	}
+	return "Figure 12: reporting states in BaseAP mode, normalized to baseline\n" + t.String()
+}
+
+// Table4Row is one row of Table IV.
+type Table4Row struct {
+	Abbr                string
+	BaselineExecutions  int
+	BaseAPExecutions    int
+	SpAPExecutions      int
+	IntermediateReports int64
+	EnableStalls        int64
+	JumpRatio           float64 // NaN if SpAP unused
+}
+
+// Table4Result reproduces Table IV at 1% profiling.
+type Table4Result struct {
+	Capacity int
+	Rows     []Table4Row
+}
+
+// Table4 gathers runtime statistics for the high+medium applications.
+func Table4(s *Suite) (*Table4Result, error) {
+	apps, err := s.Apps(workloads.HighMediumNames())
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{Capacity: s.AP.Capacity}
+	for _, a := range apps {
+		base, err := a.BaselineBatches(s.AP.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		run, err := a.RunBaseAPSpAP(0.01, s.AP.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table4Row{
+			Abbr:                a.Abbr(),
+			BaselineExecutions:  base,
+			BaseAPExecutions:    run.BaseAPBatches,
+			SpAPExecutions:      run.SpAPExecutions,
+			IntermediateReports: run.IntermediateReports,
+			EnableStalls:        run.EnableStalls,
+			JumpRatio:           run.JumpRatio,
+		})
+	}
+	return res, nil
+}
+
+// Render formats Table IV.
+func (r *Table4Result) Render() string {
+	t := metrics.NewTable("App", "AP", "BaseAP", "SpAP", "#IMReports", "#EStalls", "JumpRatio")
+	for _, row := range r.Rows {
+		jr := "-"
+		if !math.IsNaN(row.JumpRatio) {
+			jr = fmt.Sprintf("%.2f%%", 100*row.JumpRatio)
+		}
+		t.AddRow(row.Abbr, fmt.Sprint(row.BaselineExecutions),
+			fmt.Sprint(row.BaseAPExecutions), fmt.Sprint(row.SpAPExecutions),
+			fmt.Sprint(row.IntermediateReports), fmt.Sprint(row.EnableStalls), jr)
+	}
+	return fmt.Sprintf("Table IV: runtime statistics (1%% profiling, capacity %d)\n%s", r.Capacity, t)
+}
+
+// Fig13Result reproduces Figure 13: capacity sensitivity.
+type Fig13Result struct {
+	// Low is the low-group study at half the half-core (paper: 12K).
+	Low *Fig10Result
+	// High is the high-group study at a full chip (paper: 49K).
+	High *Fig10Result
+}
+
+// Fig13 runs the low group at capacity/2 and the high group at capacity×2
+// (the paper's 12K and 49K relative to the 24K half-core).
+func Fig13(s *Suite) (*Fig13Result, error) {
+	low, err := speedupStudy(s, workloads.LowNames(), s.AP.Capacity/2)
+	if err != nil {
+		return nil, err
+	}
+	high, err := speedupStudy(s, workloads.HighNames(), s.AP.Capacity*49/24)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig13Result{Low: low, High: high}, nil
+}
+
+// Render formats both panels of Figure 13.
+func (r *Fig13Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13(a): low group at capacity %d\n%s\n", r.Low.Capacity, renderSpeedups(r.Low))
+	fmt.Fprintf(&b, "Figure 13(b): high group at capacity %d\n%s", r.High.Capacity, renderSpeedups(r.High))
+	return b.String()
+}
+
+func renderSpeedups(r *Fig10Result) string {
+	t := metrics.NewTable("App", "SpAP 0.1%", "SpAP 1%")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Abbr, row.SpAP01, row.SpAP1)
+	}
+	t.AddRowf("geomean", r.GeoSpAP01, r.GeoSpAP1)
+	return t.String()
+}
+
+// Table2Row is one row of Table II.
+type Table2Row struct {
+	Abbr    string
+	Group   string
+	States  int
+	NFAs    int
+	MaxTopo int32
+	RStates int
+}
+
+// Table2Result reproduces Table II for the generated (scaled) suite.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 inventories the generated applications.
+func Table2(s *Suite) (*Table2Result, error) {
+	apps, err := s.Apps(workloads.Names())
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{}
+	for _, a := range apps {
+		st := a.App.Net.ComputeStats()
+		maxTopo := int32(0)
+		for _, m := range a.Topo().MaxPerNFA {
+			if m > maxTopo {
+				maxTopo = m
+			}
+		}
+		res.Rows = append(res.Rows, Table2Row{
+			Abbr:    a.Abbr(),
+			Group:   a.App.Group.String(),
+			States:  st.States,
+			NFAs:    st.NFAs,
+			MaxTopo: maxTopo,
+			RStates: st.Reporting,
+		})
+	}
+	return res, nil
+}
+
+// Render formats Table II.
+func (r *Table2Result) Render() string {
+	t := metrics.NewTable("App", "Grp", "#States", "#NFAs", "MaxTopo", "#RStates")
+	for _, row := range r.Rows {
+		t.AddRow(row.Abbr, row.Group, fmt.Sprint(row.States), fmt.Sprint(row.NFAs),
+			fmt.Sprint(row.MaxTopo), fmt.Sprint(row.RStates))
+	}
+	return "Table II: generated applications (scaled 1/8 of the paper)\n" + t.String()
+}

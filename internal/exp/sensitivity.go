@@ -1,0 +1,240 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"sparseap/internal/ap"
+	"sparseap/internal/automata"
+	"sparseap/internal/hotcold"
+	"sparseap/internal/metrics"
+	"sparseap/internal/spap"
+)
+
+// Sensitivity studies beyond the paper's evaluation: the enable-port width
+// (the hardware choice behind PEN's stalls), board-level rank parallelism,
+// and the multi-stream replication that motivates large-scale automata in
+// the first place.
+
+// PortsRow is one (application, port width) speedup measurement.
+type PortsRow struct {
+	Abbr    string
+	Ports   int
+	Stalls  int64
+	Speedup float64
+}
+
+// PortsResult sweeps the SpAP enable-port width on the stall-dominated
+// applications. The paper's design has one port; widening it converts
+// PEN's slowdown back into a win, quantifying the cost of that choice.
+type PortsResult struct {
+	Rows []PortsRow
+}
+
+// PortsStudy measures stall-bound applications at 1, 2, 4 and 8 ports.
+func PortsStudy(s *Suite, apps []string) (*PortsResult, error) {
+	res := &PortsResult{}
+	for _, name := range apps {
+		a, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := a.BaselineCycles(s.AP.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		p, err := a.Partition(0.01, s.AP.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		for _, ports := range []int{1, 2, 4, 8} {
+			cfg := s.AP.WithCapacity(s.AP.Capacity)
+			cfg.EnablePorts = ports
+			run, err := spap.RunBaseAPSpAP(p, a.TestInput(), cfg, spap.Options{})
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, PortsRow{
+				Abbr:    a.Abbr(),
+				Ports:   ports,
+				Stalls:  run.EnableStalls,
+				Speedup: float64(base) / float64(run.TotalCycles),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render formats the port sweep.
+func (r *PortsResult) Render() string {
+	t := metrics.NewTable("App", "Ports", "#EStalls", "Speedup")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Abbr, row.Ports, row.Stalls, row.Speedup)
+	}
+	return "Sensitivity: SpAP enable-port width (1% profiling)\n" + t.String()
+}
+
+// BoardRow is one (application, half-core count) measurement.
+type BoardRow struct {
+	Abbr      string
+	HalfCores int
+	Baseline  float64 // board-level baseline rounds
+	SpAP      float64 // board-level BaseAP/SpAP rounds-equivalent
+	Speedup   float64
+}
+
+// BoardResult sweeps rank-level parallelism: batches execute HalfCores at
+// a time on both systems; the partitioning benefit persists because it
+// reduces the number of batches each rank must cycle through.
+type BoardResult struct {
+	Rows []BoardRow
+}
+
+// BoardStudy measures board widths 1, 2 and 4 half-cores.
+func BoardStudy(s *Suite, apps []string) (*BoardResult, error) {
+	res := &BoardResult{}
+	for _, name := range apps {
+		a, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		baseBatches, err := a.BaselineBatches(s.AP.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		run, err := a.RunBaseAPSpAP(0.01, s.AP.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		n := int64(len(a.TestInput()))
+		for _, hc := range []int{1, 2, 4} {
+			board := ap.Board{HalfCore: s.AP, HalfCores: hc}
+			baseCycles := int64(board.Rounds(baseBatches)) * n
+			spapCycles := boardScheduleCycles(run, n, hc)
+			res.Rows = append(res.Rows, BoardRow{
+				Abbr:      a.Abbr(),
+				HalfCores: hc,
+				Baseline:  float64(baseCycles) / float64(n),
+				SpAP:      float64(spapCycles) / float64(n),
+				Speedup:   float64(baseCycles) / float64(spapCycles),
+			})
+		}
+	}
+	return res, nil
+}
+
+// boardScheduleCycles schedules BaseAP batches (each n cycles) and the
+// measured SpAP batch cycle counts onto hc half-cores: BaseAP rounds run
+// first (all batches see the same stream), then SpAP batches run hc at a
+// time, each round costing its longest member.
+func boardScheduleCycles(run *spap.Result, n int64, hc int) int64 {
+	rounds := (run.BaseAPBatches + hc - 1) / hc
+	total := int64(rounds) * n
+	batch := append([]int64(nil), run.SpAPBatchCycles...)
+	sort.Slice(batch, func(a, b int) bool { return batch[a] > batch[b] })
+	for i := 0; i < len(batch); i += hc {
+		total += batch[i] // longest of each round
+	}
+	return total
+}
+
+// Render formats the board sweep.
+func (r *BoardResult) Render() string {
+	t := metrics.NewTable("App", "HalfCores", "Baseline rounds", "SpAP rounds-equiv", "Speedup")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Abbr, row.HalfCores, row.Baseline, row.SpAP, row.Speedup)
+	}
+	return "Sensitivity: board-level half-core count (1% profiling)\n" + t.String()
+}
+
+// StreamRow is one (application, replication factor) measurement.
+type StreamRow struct {
+	Abbr     string
+	Streams  int
+	States   int
+	Baseline int // baseline batches
+	BaseAP   int // BaseAP-mode batches
+	Speedup  float64
+}
+
+// StreamResult reproduces the paper's motivation experiment: duplicating
+// an application's NFAs for multi-stream processing multiplies its
+// footprint, and the partitioning win grows with the replication factor.
+type StreamResult struct {
+	Rows []StreamRow
+}
+
+// StreamStudy replicates each application 1×, 2× and 4×.
+func StreamStudy(s *Suite, apps []string) (*StreamResult, error) {
+	res := &StreamResult{}
+	for _, name := range apps {
+		a, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range []int{1, 2, 4} {
+			net := automata.Replicate(a.App.Net, k)
+			input := a.TestInput()
+			batches, baseCycles, err := ap.BaselineCycles(net, len(input), s.AP.Capacity)
+			if err != nil {
+				return nil, err
+			}
+			p, err := hotcold.BuildFromProfile(net, a.ProfileInput(0.01), hotcold.Options{Capacity: s.AP.Capacity})
+			if err != nil {
+				return nil, err
+			}
+			run, err := spap.RunBaseAPSpAP(p, input, s.AP, spap.Options{})
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, StreamRow{
+				Abbr:     a.Abbr(),
+				Streams:  k,
+				States:   net.Len(),
+				Baseline: batches,
+				BaseAP:   run.BaseAPBatches,
+				Speedup:  float64(baseCycles) / float64(run.TotalCycles),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render formats the replication sweep.
+func (r *StreamResult) Render() string {
+	t := metrics.NewTable("App", "Streams", "#States", "Baseline batches", "BaseAP batches", "Speedup")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Abbr, row.Streams, row.States, row.Baseline, row.BaseAP, row.Speedup)
+	}
+	return "Sensitivity: multi-stream NFA replication (1% profiling)\n" + t.String()
+}
+
+// Sensitivity bundles the three studies for the apbench CLI.
+type SensitivityResult struct {
+	Ports   *PortsResult
+	Boards  *BoardResult
+	Streams *StreamResult
+}
+
+// Sensitivity runs the port sweep on the stall-dominated applications, and
+// the board/stream sweeps on a representative cross-section.
+func Sensitivity(s *Suite) (*SensitivityResult, error) {
+	ports, err := PortsStudy(s, []string{"PEN", "Snort_L", "Brill"})
+	if err != nil {
+		return nil, err
+	}
+	boards, err := BoardStudy(s, []string{"CAV4k", "HM1500", "Snort_L", "PEN"})
+	if err != nil {
+		return nil, err
+	}
+	streams, err := StreamStudy(s, []string{"Snort", "CAV", "Brill"})
+	if err != nil {
+		return nil, err
+	}
+	return &SensitivityResult{Ports: ports, Boards: boards, Streams: streams}, nil
+}
+
+// Render concatenates the three studies.
+func (r *SensitivityResult) Render() string {
+	return fmt.Sprintf("%s\n%s\n%s", r.Ports.Render(), r.Boards.Render(), r.Streams.Render())
+}

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"sparseap/internal/automata"
+)
+
+func TestPortsStudy(t *testing.T) {
+	s := testSuite()
+	r, err := PortsStudy(s, []string{"PEN"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Stalls must be non-increasing in port width; speedup non-decreasing.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Stalls > r.Rows[i-1].Stalls {
+			t.Fatalf("stalls increased with ports: %+v", r.Rows)
+		}
+		if r.Rows[i].Speedup < r.Rows[i-1].Speedup-1e-9 {
+			t.Fatalf("speedup decreased with ports: %+v", r.Rows)
+		}
+	}
+	if !strings.Contains(r.Render(), "enable-port") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestBoardStudy(t *testing.T) {
+	s := testSuite()
+	r, err := BoardStudy(s, []string{"CAV4k", "HM1500"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Wider boards never increase either system's rounds.
+	for i := 1; i < 3; i++ {
+		if r.Rows[i].Baseline > r.Rows[i-1].Baseline || r.Rows[i].SpAP > r.Rows[i-1].SpAP+1e-9 {
+			t.Fatalf("rounds grew with board width: %+v", r.Rows[:3])
+		}
+	}
+	r.Render()
+}
+
+func TestStreamStudy(t *testing.T) {
+	s := testSuite()
+	r, err := StreamStudy(s, []string{"Snort"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[1].States != 2*r.Rows[0].States || r.Rows[2].States != 4*r.Rows[0].States {
+		t.Fatalf("replication did not scale states: %+v", r.Rows)
+	}
+	// The partitioning benefit must not shrink as replication grows.
+	if r.Rows[2].Speedup < r.Rows[0].Speedup-0.25 {
+		t.Fatalf("speedup collapsed under replication: %+v", r.Rows)
+	}
+	r.Render()
+}
+
+func TestSensitivityBundle(t *testing.T) {
+	s := testSuite()
+	r, err := Sensitivity(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, want := range []string{"enable-port", "half-core count", "replication"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	s := testSuite()
+	a, err := s.App("Bro217")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := a.App.Net
+	r3 := automata.Replicate(net, 3)
+	if r3.Len() != 3*net.Len() || r3.NumNFAs() != 3*net.NumNFAs() {
+		t.Fatalf("replicate sizes: %d/%d", r3.Len(), r3.NumNFAs())
+	}
+	if err := r3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r1 := automata.Replicate(net, 1)
+	if r1.Len() != net.Len() {
+		t.Fatal("single replica changed size")
+	}
+	r1.States[0].Succ = nil // must be a clone, not an alias
+	if len(net.States[0].Succ) == 0 && net.Len() > 1 {
+		t.Fatal("Replicate(1) aliases the original network")
+	}
+}

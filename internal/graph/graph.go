@@ -1,0 +1,250 @@
+// Package graph implements the graph analyses the partitioner relies on:
+// strongly connected components (Tarjan), the SCC condensation DAG, the
+// layered topological order of Section III-A, and normalized depth.
+//
+// All functions operate on an automata.Network. Because edges never cross
+// NFAs, per-NFA quantities (MaxTopo, normalized depth) fall out of one
+// network-wide pass.
+package graph
+
+import (
+	"sparseap/internal/automata"
+)
+
+// SCCResult holds the strongly connected components of a network.
+type SCCResult struct {
+	// Comp[s] is the component number of state s. Component numbers are
+	// dense in [0, NumComps).
+	Comp []int32
+	// NumComps is the number of components.
+	NumComps int
+	// Size[c] is the number of states in component c.
+	Size []int32
+}
+
+// SCC computes strongly connected components with an iterative Tarjan
+// algorithm (the networks can be deep, so recursion is avoided).
+func SCC(n *automata.Network) *SCCResult {
+	nn := n.Len()
+	const unvisited = -1
+	index := make([]int32, nn)
+	low := make([]int32, nn)
+	onStack := make([]bool, nn)
+	comp := make([]int32, nn)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var (
+		stack   []int32 // Tarjan stack
+		counter int32
+		ncomp   int32
+		sizes   []int32
+	)
+	// Explicit DFS stack: frame is (node, next successor index).
+	type frame struct {
+		v    int32
+		succ int
+	}
+	var dfs []frame
+	for root := 0; root < nn; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		dfs = append(dfs[:0], frame{v: int32(root)})
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			v := f.v
+			succ := n.States[v].Succ
+			if f.succ < len(succ) {
+				w := int32(succ[f.succ])
+				f.succ++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{v: w})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// Post-visit of v.
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				p := dfs[len(dfs)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var size int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					size++
+					if w == v {
+						break
+					}
+				}
+				sizes = append(sizes, size)
+				ncomp++
+			}
+		}
+	}
+	return &SCCResult{Comp: comp, NumComps: int(ncomp), Size: sizes}
+}
+
+// Topo holds the layered topological order of a network's states.
+type Topo struct {
+	// Order[s] is topoorder(s): 1 for source layers, 1 + max over
+	// predecessor layers otherwise. States in one SCC share an order.
+	Order []int32
+	// MaxPerNFA[i] is the maximum topological order within NFA i.
+	MaxPerNFA []int32
+	// SCC is the component decomposition the order was derived from.
+	SCC *SCCResult
+}
+
+// TopoOrder computes the layered topological order of Section III-A: the
+// network is condensed by SCC, and each condensation node's order is one
+// more than the maximum order of its predecessors (sources have order 1).
+// This equals the maximum number of matching steps from a source layer.
+func TopoOrder(n *automata.Network) *Topo {
+	scc := SCC(n)
+	nc := scc.NumComps
+	// Build condensation adjacency and in-degrees (dedup via marker).
+	adj := make([][]int32, nc)
+	indeg := make([]int32, nc)
+	lastSeen := make([]int32, nc)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	for u := 0; u < n.Len(); u++ {
+		cu := scc.Comp[u]
+		for _, v := range n.States[u].Succ {
+			cv := scc.Comp[v]
+			if cu == cv {
+				continue
+			}
+			if lastSeen[cv] == cu {
+				continue // duplicate edge from this component in a row; cheap partial dedup
+			}
+			lastSeen[cv] = cu
+			adj[cu] = append(adj[cu], cv)
+			indeg[cv]++
+		}
+	}
+	// Kahn's algorithm computing longest-path layers.
+	order := make([]int32, nc)
+	queue := make([]int32, 0, nc)
+	for c := 0; c < nc; c++ {
+		if indeg[c] == 0 {
+			order[c] = 1
+			queue = append(queue, int32(c))
+		}
+	}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, d := range adj[c] {
+			if order[c]+1 > order[d] {
+				order[d] = order[c] + 1
+			}
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, int32(d))
+			}
+		}
+	}
+	t := &Topo{
+		Order:     make([]int32, n.Len()),
+		MaxPerNFA: make([]int32, n.NumNFAs()),
+		SCC:       scc,
+	}
+	for s := 0; s < n.Len(); s++ {
+		o := order[scc.Comp[s]]
+		t.Order[s] = o
+		if nfa := n.NFAOf[s]; o > t.MaxPerNFA[nfa] {
+			t.MaxPerNFA[nfa] = o
+		}
+	}
+	return t
+}
+
+// NormalizedDepth returns Order[s]/MaxPerNFA[nfa(s)] in (0, 1].
+func (t *Topo) NormalizedDepth(n *automata.Network, s automata.StateID) float64 {
+	max := t.MaxPerNFA[n.NFAOf[s]]
+	return float64(t.Order[s]) / float64(max)
+}
+
+// DepthBucket classifies a normalized depth per Fig. 5: shallow [0, 0.3),
+// medium [0.3, 0.6), deep [0.6, 1].
+type DepthBucket int
+
+const (
+	// Shallow is normalized depth in [0, 0.3).
+	Shallow DepthBucket = iota
+	// Medium is normalized depth in [0.3, 0.6).
+	Medium
+	// Deep is normalized depth in [0.6, 1].
+	Deep
+)
+
+// String names the bucket.
+func (b DepthBucket) String() string {
+	switch b {
+	case Shallow:
+		return "shallow"
+	case Medium:
+		return "medium"
+	case Deep:
+		return "deep"
+	}
+	return "unknown"
+}
+
+// Bucket classifies a normalized depth value.
+func Bucket(d float64) DepthBucket {
+	switch {
+	case d < 0.3:
+		return Shallow
+	case d < 0.6:
+		return Medium
+	default:
+		return Deep
+	}
+}
+
+// ReachableFromStarts returns, per state, whether it is reachable from any
+// start state of its NFA (start states are reachable from themselves).
+func ReachableFromStarts(n *automata.Network) []bool {
+	reach := make([]bool, n.Len())
+	var queue []automata.StateID
+	for s := 0; s < n.Len(); s++ {
+		if n.States[s].Start != automata.StartNone {
+			reach[s] = true
+			queue = append(queue, automata.StateID(s))
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, v := range n.States[u].Succ {
+			if !reach[v] {
+				reach[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return reach
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, TN: 85, FN: 5}
+	if got := c.Accuracy(); got != 0.93 {
+		t.Errorf("accuracy = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-8.0/13) > 1e-12 {
+		t.Errorf("recall = %v", got)
+	}
+	if got := c.Precision(); got != 0.8 {
+		t.Errorf("precision = %v", got)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Recall() != 0 || c.Precision() != 0 {
+		t.Error("empty confusion should return 0s")
+	}
+}
+
+func TestConfusionAdd(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	a.Add(Confusion{TP: 10, FP: 20, TN: 30, FN: 40})
+	if a != (Confusion{TP: 11, FP: 22, TN: 33, FN: 44}) {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); got != 4 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	if got := GeoMean([]float64{3}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("GeoMean single = %v", got)
+	}
+	if !math.IsNaN(GeoMean(nil)) || !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Error("degenerate GeoMean should be NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(100, 50) != 2 {
+		t.Error("Speedup wrong")
+	}
+	if !math.IsInf(Speedup(100, 0), 1) {
+		t.Error("Speedup by zero should be +Inf")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Correlation(xs, []float64{2, 4, 6, 8}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	if got := Correlation(xs, []float64{8, 6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if !math.IsNaN(Correlation(xs, []float64{1, 1, 1, 1})) {
+		t.Error("zero-variance correlation should be NaN")
+	}
+	if !math.IsNaN(Correlation(xs, []float64{1})) {
+		t.Error("length mismatch should be NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("App", "Speedup")
+	tab.AddRowf("CAV4k", 47.0)
+	tab.AddRow("DS")
+	s := tab.String()
+	if !strings.Contains(s, "App") || !strings.Contains(s, "47.00") {
+		t.Fatalf("table output:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), s)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.425) != "42.5%" {
+		t.Errorf("Pct = %s", Pct(0.425))
+	}
+}
+
+// Property: GeoMean of positive values lies between min and max.
+func TestPropGeoMeanBounds(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		vals := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := GeoMean(vals)
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

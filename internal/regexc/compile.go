@@ -1,0 +1,284 @@
+package regexc
+
+import (
+	"fmt"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// DefaultMaxStates bounds the expanded size of a single pattern (bounded
+// repetitions are expanded by copying, so {1000} costs 1000 positions —
+// exactly as it does on the real AP).
+const DefaultMaxStates = 1 << 17
+
+// Options configures compilation.
+type Options struct {
+	// MaxStates caps per-pattern NFA size; 0 means DefaultMaxStates.
+	MaxStates int
+}
+
+// Compile translates one pattern into a homogeneous NFA. An unanchored
+// pattern gets all-input start states (the AP idiom for "match anywhere");
+// a ^-anchored pattern gets start-of-data start states. Reporting states
+// are the positions a match can end at.
+func Compile(pattern string, opts Options) (*automata.NFA, error) {
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = DefaultMaxStates
+	}
+	root, anchored, err := parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	root, err = expand(root, maxStates)
+	if err != nil {
+		return nil, fmt.Errorf("regexc: pattern %q: %w", clip(pattern), err)
+	}
+	c := &compiler{}
+	c.number(root)
+	if len(c.sets) == 0 {
+		return nil, fmt.Errorf("regexc: pattern %q matches only the empty string", clip(pattern))
+	}
+	if len(c.sets) > maxStates {
+		return nil, fmt.Errorf("regexc: pattern %q expands to %d states (max %d)", clip(pattern), len(c.sets), maxStates)
+	}
+	info := c.analyze(root)
+	if info.nullable {
+		return nil, fmt.Errorf("regexc: pattern %q matches the empty string", clip(pattern))
+	}
+	start := automata.StartAllInput
+	if anchored {
+		start = automata.StartOfData
+	}
+	m := automata.NewNFA()
+	for pos, set := range c.sets {
+		kind := automata.StartNone
+		if c.isFirst(info, pos) {
+			kind = start
+		}
+		m.Add(set, kind, false)
+	}
+	for _, pos := range info.last {
+		m.States[pos].Report = true
+	}
+	for p, follows := range c.follow {
+		for _, q := range follows {
+			m.Connect(automata.StateID(p), automata.StateID(q))
+		}
+	}
+	m.Dedup()
+	return m, nil
+}
+
+func clip(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "..."
+	}
+	return s
+}
+
+// expand rewrites repeatNode into primitive star/plus/quest-free form by
+// copying: X{m,n} = X^m (X?)^(n-m); X{m,} = X^(m-1) X+; X* and X+ stay as
+// repeatNode with (0,-1)/(1,-1) handled natively by analyze.
+func expand(n node, budget int) (node, error) {
+	switch t := n.(type) {
+	case *litNode:
+		return t, nil
+	case *catNode:
+		for i, k := range t.kids {
+			e, err := expand(k, budget)
+			if err != nil {
+				return nil, err
+			}
+			t.kids[i] = e
+		}
+		return t, nil
+	case *altNode:
+		for i, k := range t.kids {
+			e, err := expand(k, budget)
+			if err != nil {
+				return nil, err
+			}
+			t.kids[i] = e
+		}
+		return t, nil
+	case *repeatNode:
+		kid, err := expand(t.kid, budget)
+		if err != nil {
+			return nil, err
+		}
+		t.kid = kid
+		switch {
+		case t.min == 0 && t.max == -1: // *
+			return t, nil
+		case t.min == 1 && t.max == -1: // +
+			return t, nil
+		case t.min == 0 && t.max == 1: // ?
+			return t, nil
+		}
+		if sz := countPositions(kid); sz > 0 {
+			total := t.max
+			if total == -1 {
+				total = t.min
+			}
+			if sz*max(total, 1) > budget {
+				return nil, fmt.Errorf("repetition expands past %d states", budget)
+			}
+		}
+		var kids []node
+		for i := 0; i < t.min; i++ {
+			kids = append(kids, kid.clone())
+		}
+		switch {
+		case t.max == -1:
+			if t.min == 0 {
+				return &repeatNode{kid: kid, min: 0, max: -1}, nil
+			}
+			// Replace the last mandatory copy with X+.
+			kids[len(kids)-1] = &repeatNode{kid: kid.clone(), min: 1, max: -1}
+		default:
+			for i := t.min; i < t.max; i++ {
+				kids = append(kids, &repeatNode{kid: kid.clone(), min: 0, max: 1})
+			}
+		}
+		if len(kids) == 1 {
+			return kids[0], nil
+		}
+		return &catNode{kids: kids}, nil
+	}
+	return nil, fmt.Errorf("unknown node type %T", n)
+}
+
+func countPositions(n node) int {
+	switch t := n.(type) {
+	case *litNode:
+		return 1
+	case *catNode:
+		c := 0
+		for _, k := range t.kids {
+			c += countPositions(k)
+		}
+		return c
+	case *altNode:
+		c := 0
+		for _, k := range t.kids {
+			c += countPositions(k)
+		}
+		return c
+	case *repeatNode:
+		return countPositions(t.kid)
+	}
+	return 0
+}
+
+// compiler holds Glushkov construction state.
+type compiler struct {
+	sets   []symset.Set // symbol set per position
+	follow [][]int      // follow sets per position
+}
+
+// number assigns dense position indices to literal nodes in left-to-right
+// order.
+func (c *compiler) number(n node) {
+	switch t := n.(type) {
+	case *litNode:
+		t.pos = len(c.sets)
+		c.sets = append(c.sets, t.set)
+		c.follow = append(c.follow, nil)
+	case *catNode:
+		for _, k := range t.kids {
+			c.number(k)
+		}
+	case *altNode:
+		for _, k := range t.kids {
+			c.number(k)
+		}
+	case *repeatNode:
+		c.number(t.kid)
+	}
+}
+
+// ginfo carries nullable/first/last of a subtree.
+type ginfo struct {
+	nullable bool
+	first    []int
+	last     []int
+}
+
+// analyze computes nullable/first/last bottom-up and accumulates follow
+// sets into c.follow.
+func (c *compiler) analyze(n node) ginfo {
+	switch t := n.(type) {
+	case *litNode:
+		return ginfo{first: []int{t.pos}, last: []int{t.pos}}
+	case *catNode:
+		out := ginfo{nullable: true}
+		for _, k := range t.kids {
+			ki := c.analyze(k)
+			// follow: lasts of the accumulated prefix feed k's firsts.
+			for _, p := range out.last {
+				c.follow[p] = append(c.follow[p], ki.first...)
+			}
+			if out.nullable {
+				out.first = append(out.first, ki.first...)
+			}
+			if ki.nullable {
+				out.last = append(out.last, ki.last...)
+			} else {
+				out.last = append([]int(nil), ki.last...)
+			}
+			out.nullable = out.nullable && ki.nullable
+		}
+		return out
+	case *altNode:
+		var out ginfo
+		for _, k := range t.kids {
+			ki := c.analyze(k)
+			out.nullable = out.nullable || ki.nullable
+			out.first = append(out.first, ki.first...)
+			out.last = append(out.last, ki.last...)
+		}
+		return out
+	case *repeatNode:
+		ki := c.analyze(t.kid)
+		switch {
+		case t.min == 0 && t.max == 1: // ?
+			return ginfo{nullable: true, first: ki.first, last: ki.last}
+		default: // * or +
+			for _, p := range ki.last {
+				c.follow[p] = append(c.follow[p], ki.first...)
+			}
+			return ginfo{nullable: ki.nullable || t.min == 0, first: ki.first, last: ki.last}
+		}
+	}
+	return ginfo{}
+}
+
+// isFirst reports whether position pos is in info.first.
+func (c *compiler) isFirst(info ginfo, pos int) bool {
+	for _, p := range info.first {
+		if p == pos {
+			return true
+		}
+	}
+	return false
+}
+
+// CompileAll compiles each pattern to one NFA and flattens them into a
+// network, skipping nothing: any failing pattern aborts with its error.
+func CompileAll(patterns []string, opts Options) (*automata.Network, error) {
+	nfas := make([]*automata.NFA, 0, len(patterns))
+	for i, p := range patterns {
+		m, err := Compile(p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %d: %w", i, err)
+		}
+		nfas = append(nfas, m)
+	}
+	net := automata.NewNetwork(nfas...)
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

@@ -1,0 +1,322 @@
+// Package regexc compiles regular expressions into homogeneous NFAs using
+// the Glushkov construction, whose output (one state per symbol occurrence,
+// all incoming edges sharing that state's symbol set) is exactly the
+// homogeneous automaton class the AP executes.
+//
+// Supported syntax: literals, escapes (\n \r \t \0 \xHH and class
+// shorthands \d \D \w \W \s \S), '.', bracket classes with ranges and
+// negation, grouping, alternation, and the quantifiers * + ? {m} {m,n}
+// {m,}. A leading '^' anchors the pattern to the start of the input
+// (compiled as start-of-data states); '$' is not supported.
+package regexc
+
+import (
+	"fmt"
+	"strings"
+
+	"sparseap/internal/symset"
+)
+
+// node is a regex AST node.
+type node interface {
+	clone() node
+}
+
+type litNode struct {
+	set symset.Set
+	pos int // position index; assigned by the numbering pass
+}
+
+type catNode struct{ kids []node }
+type altNode struct{ kids []node }
+type repeatNode struct {
+	kid node
+	min int
+	max int // -1 for unbounded
+}
+
+func (n *litNode) clone() node { c := *n; return &c }
+func (n *catNode) clone() node {
+	kids := make([]node, len(n.kids))
+	for i, k := range n.kids {
+		kids[i] = k.clone()
+	}
+	return &catNode{kids: kids}
+}
+func (n *altNode) clone() node {
+	kids := make([]node, len(n.kids))
+	for i, k := range n.kids {
+		kids[i] = k.clone()
+	}
+	return &altNode{kids: kids}
+}
+func (n *repeatNode) clone() node {
+	return &repeatNode{kid: n.kid.clone(), min: n.min, max: n.max}
+}
+
+// parser is a recursive-descent regex parser.
+type parser struct {
+	src string
+	i   int
+}
+
+// parseError annotates an error with the offset it occurred at.
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("regexc: offset %d: %s", p.i, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) eof() bool  { return p.i >= len(p.src) }
+func (p *parser) peek() byte { return p.src[p.i] }
+func (p *parser) next() byte { c := p.src[p.i]; p.i++; return c }
+func (p *parser) accept(c byte) bool {
+	if !p.eof() && p.peek() == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// parse parses a full pattern and reports whether it was ^-anchored.
+func parse(pattern string) (root node, anchored bool, err error) {
+	p := &parser{src: pattern}
+	if p.accept('^') {
+		anchored = true
+	}
+	root, err = p.alt()
+	if err != nil {
+		return nil, false, err
+	}
+	if !p.eof() {
+		return nil, false, p.errf("unexpected %q", p.peek())
+	}
+	return root, anchored, nil
+}
+
+func (p *parser) alt() (node, error) {
+	first, err := p.cat()
+	if err != nil {
+		return nil, err
+	}
+	if p.eof() || p.peek() != '|' {
+		return first, nil
+	}
+	kids := []node{first}
+	for p.accept('|') {
+		k, err := p.cat()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	return &altNode{kids: kids}, nil
+}
+
+func (p *parser) cat() (node, error) {
+	var kids []node
+	for !p.eof() {
+		switch p.peek() {
+		case '|', ')':
+			goto done
+		}
+		k, err := p.rep()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+done:
+	switch len(kids) {
+	case 0:
+		return &catNode{}, nil // empty: matches ε
+	case 1:
+		return kids[0], nil
+	}
+	return &catNode{kids: kids}, nil
+}
+
+// rep parses an atom followed by any number of quantifiers.
+func (p *parser) rep() (node, error) {
+	atom, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for !p.eof() {
+		switch p.peek() {
+		case '*':
+			p.next()
+			atom = &repeatNode{kid: atom, min: 0, max: -1}
+		case '+':
+			p.next()
+			atom = &repeatNode{kid: atom, min: 1, max: -1}
+		case '?':
+			p.next()
+			atom = &repeatNode{kid: atom, min: 0, max: 1}
+		case '{':
+			rn, ok, err := p.bounds(atom)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return atom, nil // literal '{'
+			}
+			atom = rn
+		default:
+			return atom, nil
+		}
+	}
+	return atom, nil
+}
+
+// bounds parses {m}, {m,}, or {m,n}; ok=false means the '{' was a literal.
+func (p *parser) bounds(atom node) (node, bool, error) {
+	start := p.i
+	p.next() // consume '{'
+	m, okM := p.number()
+	if !okM {
+		p.i = start
+		return nil, false, nil
+	}
+	max := m
+	if p.accept(',') {
+		if n, okN := p.number(); okN {
+			max = n
+		} else {
+			max = -1
+		}
+	}
+	if !p.accept('}') {
+		p.i = start
+		return nil, false, nil
+	}
+	if max != -1 && max < m {
+		return nil, false, p.errf("invalid repetition bounds {%d,%d}", m, max)
+	}
+	return &repeatNode{kid: atom, min: m, max: max}, true, nil
+}
+
+func (p *parser) number() (int, bool) {
+	start := p.i
+	n := 0
+	for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+		n = n*10 + int(p.next()-'0')
+		if n > 1<<20 {
+			return 0, false
+		}
+	}
+	return n, p.i > start
+}
+
+func (p *parser) atom() (node, error) {
+	if p.eof() {
+		return nil, p.errf("unexpected end of pattern")
+	}
+	switch c := p.peek(); c {
+	case '(':
+		p.next()
+		inner, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(')') {
+			return nil, p.errf("missing )")
+		}
+		return inner, nil
+	case '[':
+		return p.class()
+	case '.':
+		p.next()
+		return &litNode{set: dotSet()}, nil
+	case '\\':
+		return p.escape()
+	case '*', '+', '?':
+		return nil, p.errf("quantifier %q with nothing to repeat", c)
+	case ')':
+		return nil, p.errf("unmatched )")
+	case '^', '$':
+		return nil, p.errf("anchor %q only supported at pattern start", c)
+	default:
+		p.next()
+		return &litNode{set: symset.Single(c)}, nil
+	}
+}
+
+// dotSet is '.' — any byte except newline (matching the stdlib default).
+func dotSet() symset.Set {
+	s := symset.All()
+	s.Remove('\n')
+	return s
+}
+
+// class parses a bracket expression by scanning to the matching ']' and
+// delegating to symset.Parse.
+func (p *parser) class() (node, error) {
+	start := p.i
+	p.next() // '['
+	// A ']' immediately after '[' or '[^' is a literal member.
+	p.accept('^')
+	first := true
+	for !p.eof() {
+		c := p.next()
+		if c == '\\' {
+			if p.eof() {
+				return nil, p.errf("dangling backslash in class")
+			}
+			p.next()
+			first = false
+			continue
+		}
+		if c == ']' && !first {
+			set, err := symset.Parse(p.src[start:p.i])
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			return &litNode{set: set}, nil
+		}
+		first = false
+	}
+	return nil, p.errf("missing ] in class")
+}
+
+func (p *parser) escape() (node, error) {
+	p.next() // backslash
+	if p.eof() {
+		return nil, p.errf("dangling backslash")
+	}
+	c := p.next()
+	switch c {
+	case 'd':
+		return &litNode{set: symset.Digits()}, nil
+	case 'D':
+		return &litNode{set: symset.Digits().Complement()}, nil
+	case 'w':
+		return &litNode{set: symset.Word()}, nil
+	case 'W':
+		return &litNode{set: symset.Word().Complement()}, nil
+	case 's':
+		return &litNode{set: symset.Space()}, nil
+	case 'S':
+		return &litNode{set: symset.Space().Complement()}, nil
+	case 'n':
+		return &litNode{set: symset.Single('\n')}, nil
+	case 'r':
+		return &litNode{set: symset.Single('\r')}, nil
+	case 't':
+		return &litNode{set: symset.Single('\t')}, nil
+	case '0':
+		return &litNode{set: symset.Single(0)}, nil
+	case 'x':
+		if p.i+1 >= len(p.src) {
+			return nil, p.errf("truncated \\x escape")
+		}
+		hexStr := p.src[p.i : p.i+2]
+		p.i += 2
+		var v int
+		if _, err := fmt.Sscanf(strings.ToLower(hexStr), "%02x", &v); err != nil {
+			return nil, p.errf("bad hex escape \\x%s", hexStr)
+		}
+		return &litNode{set: symset.Single(byte(v))}, nil
+	default:
+		// Escaped metacharacter or ordinary byte.
+		return &litNode{set: symset.Single(c)}, nil
+	}
+}

@@ -1,0 +1,288 @@
+package regexc
+
+import (
+	"math/rand"
+	"regexp"
+	"testing"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/sim"
+)
+
+// endPositions runs the compiled NFA over input and returns the set of
+// positions where any match ends.
+func endPositions(t *testing.T, pattern string, input []byte) map[int64]bool {
+	t.Helper()
+	m, err := Compile(pattern, Options{})
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", pattern, err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate(%q): %v", pattern, err)
+	}
+	net := automata.NewNetwork(m)
+	res := sim.Run(net, input, sim.Options{CollectReports: true})
+	out := map[int64]bool{}
+	for _, r := range res.Reports {
+		out[r.Pos] = true
+	}
+	return out
+}
+
+// oracleEnds computes match end positions with the stdlib: end e is a match
+// iff some substring input[s:e+1] matches the pattern exactly.
+func oracleEnds(t *testing.T, pattern string, input []byte, anchored bool) map[int64]bool {
+	t.Helper()
+	re, err := regexp.Compile(`\A(?:` + pattern + `)\z`)
+	if err != nil {
+		t.Fatalf("oracle compile %q: %v", pattern, err)
+	}
+	out := map[int64]bool{}
+	for e := 0; e < len(input); e++ {
+		starts := e + 1
+		if anchored {
+			starts = 1
+		}
+		for s := 0; s < starts; s++ {
+			if re.Match(input[s : e+1]) {
+				out[int64(e)] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+func sameSet(a, b map[int64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCompileBasics(t *testing.T) {
+	cases := []struct {
+		pattern string
+		input   string
+		want    []int64
+	}{
+		{"abc", "xxabcxabc", []int64{4, 8}},
+		{"a|b", "ab", []int64{0, 1}},
+		{"ab|cd", "abcd", []int64{1, 3}},
+		{"a(bc)+d", "abcbcd", []int64{5}},
+		{"a?b", "ab b", []int64{1, 3}},
+		{"a*b", "aaab", []int64{3}},
+		{"a.c", "abc adc a\nc", []int64{2, 6}},
+		{"[0-9]+", "a12b", []int64{1, 2}},
+		{"a{3}", "aaaa", []int64{2, 3}},
+		{"a{2,3}b", "aab aaab", []int64{2, 7}},
+		{"a{2,}b", "ab aab aaaab", []int64{5, 11}},
+		{"\\d\\d", "ab12", []int64{3}},
+		{"a((bc)|(cd)+)f", "abcf", []int64{3}},
+		{"a((bc)|(cd)+)f", "acdcdf", []int64{5}},
+	}
+	for _, c := range cases {
+		got := endPositions(t, c.pattern, []byte(c.input))
+		want := map[int64]bool{}
+		for _, p := range c.want {
+			want[p] = true
+		}
+		if !sameSet(got, want) {
+			t.Errorf("pattern %q on %q: ends %v, want %v", c.pattern, c.input, got, want)
+		}
+	}
+}
+
+func TestCompileAnchored(t *testing.T) {
+	m, err := Compile("^ab", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := 0
+	for _, s := range m.States {
+		if s.Start == automata.StartOfData {
+			starts++
+		}
+		if s.Start == automata.StartAllInput {
+			t.Error("anchored pattern has all-input start")
+		}
+	}
+	if starts != 1 {
+		t.Fatalf("start-of-data states = %d, want 1", starts)
+	}
+	net := automata.NewNetwork(m)
+	if got := sim.Run(net, []byte("abab"), sim.Options{}).NumReports; got != 1 {
+		t.Fatalf("anchored reports = %d, want 1", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, p := range []string{
+		"", "a*|b*", "(a?)*", "*a", "a**|", "(ab", "ab)", "a[b", "a\\",
+		"a$", "a^b", "a{3,1}", "x{0}", "a{2,", // '{2,' unclosed -> literal braces? '{' then '2' ',' then EOF: bounds resets, '{' literal; then '2' ',' literals -> actually valid!
+	} {
+		_, err := Compile(p, Options{})
+		valid := map[string]bool{"a{2,": true} // literal-brace fallback is legal
+		if valid[p] {
+			if err != nil {
+				t.Errorf("Compile(%q) failed: %v (want literal-brace fallback)", p, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", p)
+		}
+	}
+}
+
+func TestCompileEmptyMatchRejected(t *testing.T) {
+	for _, p := range []string{"a*", "a?", "(a|)", "()"} {
+		if _, err := Compile(p, Options{}); err == nil {
+			t.Errorf("Compile(%q) succeeded, want nullable error", p)
+		}
+	}
+}
+
+func TestCompileMaxStates(t *testing.T) {
+	if _, err := Compile("a{5}", Options{MaxStates: 3}); err == nil {
+		t.Error("repetition over MaxStates succeeded")
+	}
+	if _, err := Compile("a{5}", Options{MaxStates: 5}); err != nil {
+		t.Errorf("a{5} with MaxStates=5 failed: %v", err)
+	}
+}
+
+func TestBoundedRepetitionStateCount(t *testing.T) {
+	m, err := Compile("a{100}", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 100 {
+		t.Fatalf("a{100} states = %d, want 100", m.Len())
+	}
+	m2, err := Compile("ab{2,4}c", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 6 { // a + bbbb + c
+		t.Fatalf("ab{2,4}c states = %d, want 6", m2.Len())
+	}
+}
+
+func TestCompileAll(t *testing.T) {
+	net, err := CompileAll([]string{"abc", "x+y", "[0-9]{3}"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumNFAs() != 3 {
+		t.Fatalf("NFAs = %d", net.NumNFAs())
+	}
+	if _, err := CompileAll([]string{"abc", "("}, Options{}); err == nil {
+		t.Error("CompileAll with bad pattern succeeded")
+	}
+}
+
+func TestEscapes(t *testing.T) {
+	got := endPositions(t, `\x41\t\.`, []byte("A\t. A\t,"))
+	if !sameSet(got, map[int64]bool{2: true}) {
+		t.Fatalf("ends = %v", got)
+	}
+	got = endPositions(t, `[\x00-\x02]`, []byte{0, 1, 2, 3})
+	if !sameSet(got, map[int64]bool{0: true, 1: true, 2: true}) {
+		t.Fatalf("ends = %v", got)
+	}
+}
+
+func TestNegatedClass(t *testing.T) {
+	got := endPositions(t, "a[^b]c", []byte("abc axc"))
+	if !sameSet(got, map[int64]bool{6: true}) {
+		t.Fatalf("ends = %v", got)
+	}
+}
+
+// randomPattern generates a random pattern from a grammar both compilers
+// support identically.
+func randomPattern(r *rand.Rand, depth int) string {
+	if depth <= 0 {
+		atoms := []string{"a", "b", "c", "d", "[ab]", "[^a]", ".", "\\d"}
+		return atoms[r.Intn(len(atoms))]
+	}
+	switch r.Intn(6) {
+	case 0:
+		return randomPattern(r, depth-1) + randomPattern(r, depth-1)
+	case 1:
+		return "(" + randomPattern(r, depth-1) + "|" + randomPattern(r, depth-1) + ")"
+	case 2:
+		return "(" + randomPattern(r, depth-1) + ")+"
+	case 3:
+		// Avoid nullable roots: guard star/quest with a mandatory atom.
+		return randomPattern(r, 0) + "(" + randomPattern(r, depth-1) + ")*"
+	case 4:
+		return randomPattern(r, 0) + "(" + randomPattern(r, depth-1) + ")?"
+	default:
+		return "(" + randomPattern(r, depth-1) + "){1,3}"
+	}
+}
+
+// Property: compiled NFA match-end positions equal the stdlib regexp oracle
+// on random patterns and inputs.
+func TestPropAgainstStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	alphabet := []byte("abcd1\n")
+	for trial := 0; trial < 150; trial++ {
+		pattern := randomPattern(r, 1+r.Intn(3))
+		input := make([]byte, 1+r.Intn(30))
+		for i := range input {
+			input[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		m, err := Compile(pattern, Options{})
+		if err != nil {
+			continue // nullable or oversized random pattern: skip
+		}
+		net := automata.NewNetwork(m)
+		res := sim.Run(net, input, sim.Options{CollectReports: true})
+		got := map[int64]bool{}
+		for _, rep := range res.Reports {
+			got[rep.Pos] = true
+		}
+		want := oracleEnds(t, pattern, input, false)
+		if !sameSet(got, want) {
+			t.Fatalf("trial %d: pattern %q input %q: ends %v, want %v",
+				trial, pattern, input, got, want)
+		}
+	}
+}
+
+// Property: anchored compilation agrees with the oracle restricted to
+// matches starting at position 0.
+func TestPropAnchoredAgainstStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	alphabet := []byte("abc")
+	for trial := 0; trial < 80; trial++ {
+		pattern := randomPattern(r, 1+r.Intn(2))
+		input := make([]byte, 1+r.Intn(20))
+		for i := range input {
+			input[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		m, err := Compile("^"+pattern, Options{})
+		if err != nil {
+			continue
+		}
+		net := automata.NewNetwork(m)
+		res := sim.Run(net, input, sim.Options{CollectReports: true})
+		got := map[int64]bool{}
+		for _, rep := range res.Reports {
+			got[rep.Pos] = true
+		}
+		want := oracleEnds(t, pattern, input, true)
+		if !sameSet(got, want) {
+			t.Fatalf("trial %d: pattern ^%q input %q: ends %v, want %v",
+				trial, pattern, input, got, want)
+		}
+	}
+}

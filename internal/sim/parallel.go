@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/graph"
+)
+
+// Parallel input-stream execution, after the Parallel Automata Processor
+// idea the paper cites as a driver of application growth: the input is cut
+// into chunks processed concurrently, and each chunk is preceded by a
+// warm-up overlap long enough that any match ending inside the chunk has
+// its whole enabling history replayed. Warm-up reports are discarded (the
+// previous chunk owns them).
+//
+// For an acyclic network the longest enabling chain is the maximum
+// topological order, so overlap = MaxTopo is exact. Cycles make the
+// required history unbounded; such networks are rejected unless the caller
+// supplies an explicit overlap and accepts the approximation (the
+// hardware proposal solves this with connected-component enumeration
+// instead).
+
+// ParallelOptions configures ParallelRun.
+type ParallelOptions struct {
+	// Workers is the number of concurrent chunks (default 4).
+	Workers int
+	// Overlap is the warm-up length; 0 means the exact acyclic bound
+	// (maximum topological order across NFAs).
+	Overlap int
+	// AllowCycles accepts networks with cycles, making the result an
+	// approximation bounded by Overlap.
+	AllowCycles bool
+}
+
+// ErrCyclic is returned for cyclic networks without AllowCycles.
+var ErrCyclic = fmt.Errorf("sim: network has cycles; parallel overlap is only exact for DAGs (set AllowCycles to approximate)")
+
+// ParallelRun executes net over input with chunked parallelism and returns
+// all reports sorted by position. Networks containing start-of-data states
+// are rejected: their matches are anchored to position 0 and cannot be
+// re-derived inside a chunk.
+func ParallelRun(net *automata.Network, input []byte, opts ParallelOptions) ([]Report, error) {
+	for s := range net.States {
+		if net.States[s].Start == automata.StartOfData {
+			return nil, fmt.Errorf("sim: start-of-data networks cannot run in parallel chunks")
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	topo := graph.TopoOrder(net)
+	cyclic := false
+	for c, size := range topo.SCC.Size {
+		if size > 1 {
+			cyclic = true
+			break
+		}
+		_ = c
+	}
+	if !cyclic { // self-loops are SCCs of size 1; detect them separately
+	selfLoop:
+		for u := range net.States {
+			for _, v := range net.States[u].Succ {
+				if int(v) == u {
+					cyclic = true
+					break selfLoop
+				}
+			}
+		}
+	}
+	overlap := opts.Overlap
+	if overlap == 0 {
+		if cyclic && !opts.AllowCycles {
+			return nil, ErrCyclic
+		}
+		maxTopo := int32(0)
+		for _, m := range topo.MaxPerNFA {
+			if m > maxTopo {
+				maxTopo = m
+			}
+		}
+		overlap = int(maxTopo)
+	} else if cyclic && !opts.AllowCycles {
+		return nil, ErrCyclic
+	}
+
+	if workers > len(input) {
+		workers = len(input)
+	}
+	if workers <= 1 {
+		return Run(net, input, Options{CollectReports: true}).Reports, nil
+	}
+	chunk := (len(input) + workers - 1) / workers
+	results := make([][]Report, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > len(input) {
+			end = len(input)
+		}
+		if start >= end {
+			continue
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			warm := start - overlap
+			if warm < 0 {
+				warm = 0
+			}
+			eng := NewEngine(net, Options{})
+			var out []Report
+			eng.OnReport = func(pos int64, s automata.StateID) {
+				if pos >= int64(start) {
+					out = append(out, Report{Pos: pos, State: s})
+				}
+			}
+			for i := warm; i < end; i++ {
+				eng.Step(int64(i), input[i])
+			}
+			results[w] = out
+		}(w, start, end)
+	}
+	wg.Wait()
+	var all []Report
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Pos != all[b].Pos {
+			return all[a].Pos < all[b].Pos
+		}
+		return all[a].State < all[b].State
+	})
+	return all, nil
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// randomDAGNet builds a random acyclic network (edges only forward).
+func randomDAGNet(r *rand.Rand, nfas int) *automata.Network {
+	machines := make([]*automata.NFA, nfas)
+	for u := range machines {
+		n := 2 + r.Intn(8)
+		m := automata.NewNFA()
+		for s := 0; s < n; s++ {
+			start := automata.StartNone
+			if s == 0 {
+				start = automata.StartAllInput
+			}
+			m.Add(symset.Single(byte('a'+r.Intn(4))), start, r.Intn(3) == 0)
+		}
+		for e := 0; e < 1+r.Intn(2*n); e++ {
+			u := r.Intn(n - 1)
+			v := u + 1 + r.Intn(n-u-1)
+			m.Connect(automata.StateID(u), automata.StateID(v))
+		}
+		m.Dedup()
+		machines[u] = m
+	}
+	return automata.NewNetwork(machines...)
+}
+
+// Property: parallel chunked execution with exact overlap equals serial
+// execution on acyclic networks.
+func TestPropParallelEqualsSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		net := randomDAGNet(r, 1+r.Intn(4))
+		input := make([]byte, 20+r.Intn(300))
+		for i := range input {
+			input[i] = byte('a' + r.Intn(4))
+		}
+		serial := Run(net, input, Options{CollectReports: true}).Reports
+		par, err := ParallelRun(net, input, ParallelOptions{Workers: 1 + r.Intn(6)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("trial %d: %d parallel vs %d serial reports", trial, len(par), len(serial))
+		}
+		counts := map[Report]int{}
+		for _, rep := range serial {
+			counts[rep]++
+		}
+		for _, rep := range par {
+			counts[rep]--
+			if counts[rep] < 0 {
+				t.Fatalf("trial %d: extra report %+v", trial, rep)
+			}
+		}
+	}
+}
+
+func TestParallelRejectsCycles(t *testing.T) {
+	m := automata.NewNFA()
+	a := m.Add(symset.Single('a'), automata.StartAllInput, false)
+	loop := m.Add(symset.All(), automata.StartNone, false)
+	b := m.Add(symset.Single('b'), automata.StartNone, true)
+	m.Connect(a, loop)
+	m.Connect(loop, loop)
+	m.Connect(loop, b)
+	net := automata.NewNetwork(m)
+	if _, err := ParallelRun(net, []byte("aXb"), ParallelOptions{Workers: 2}); err == nil {
+		t.Fatal("cyclic network accepted without AllowCycles")
+	}
+	// With AllowCycles and a generous overlap it runs (approximately).
+	if _, err := ParallelRun(net, []byte("aXb"), ParallelOptions{Workers: 2, Overlap: 3, AllowCycles: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelRejectsStartOfData(t *testing.T) {
+	m := automata.NewNFA()
+	a := m.Add(symset.Single('a'), automata.StartOfData, false)
+	b := m.Add(symset.Single('b'), automata.StartNone, true)
+	m.Connect(a, b)
+	net := automata.NewNetwork(m)
+	if _, err := ParallelRun(net, []byte("ab"), ParallelOptions{Workers: 2}); err == nil {
+		t.Fatal("start-of-data network accepted")
+	}
+}
+
+func TestParallelSingleWorkerFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	net := randomDAGNet(r, 2)
+	input := []byte("abcdabcd")
+	got, err := ParallelRun(net, input, ParallelOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Run(net, input, Options{CollectReports: true}).Reports
+	if len(got) != len(want) {
+		t.Fatalf("reports %d vs %d", len(got), len(want))
+	}
+}
+
+func TestStreamerMatchesBatch(t *testing.T) {
+	m := automata.NewNFA()
+	a := m.Add(symset.Single('a'), automata.StartAllInput, false)
+	b := m.Add(symset.Single('b'), automata.StartNone, true)
+	m.Connect(a, b)
+	net := automata.NewNetwork(m)
+
+	var got []Report
+	st := NewStreamer(net)
+	st.OnReport = func(pos int64, s automata.StateID) {
+		got = append(got, Report{Pos: pos, State: s})
+	}
+	// Feed in awkward fragments, crossing the "ab" boundary.
+	if _, err := io.Copy(st, strings.NewReader("xa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write([]byte("bxxab")); err != nil {
+		t.Fatal(err)
+	}
+	want := Run(net, []byte("xabxxab"), Options{CollectReports: true}).Reports
+	if len(got) != len(want) {
+		t.Fatalf("streaming reports %v, batch %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("streaming reports %v, batch %v", got, want)
+		}
+	}
+	if st.Pos() != 7 {
+		t.Fatalf("Pos = %d", st.Pos())
+	}
+	st.Reset()
+	if st.Pos() != 0 {
+		t.Fatal("Reset did not rewind position")
+	}
+	got = got[:0]
+	st.Write([]byte("ab"))
+	if len(got) != 1 || got[0].Pos != 1 {
+		t.Fatalf("after Reset: %v", got)
+	}
+}

@@ -1,0 +1,237 @@
+// Package sim implements a functional simulator for homogeneous NFAs — the
+// role VASim plays in the paper.
+//
+// Execution follows the AP semantics of Section II: each cycle the enabled
+// states whose symbol set contains the current input symbol are *activated*;
+// activated reporting states emit a report; the successors of activated
+// states are *enabled* for the next cycle. All-input start states are
+// enabled every cycle; start-of-data start states only at position 0.
+//
+// The Engine keeps the dynamically enabled states as a sparse frontier and
+// precomputes, per input symbol, the list of all-input start states that
+// symbol activates — so per-cycle cost is proportional to the frontier, not
+// the network (critical for networks with 10^5 states, of which most are
+// cold).
+package sim
+
+import (
+	"sparseap/internal/automata"
+	"sparseap/internal/bitvec"
+)
+
+// Report is one match: reporting state s activated at input position Pos.
+type Report struct {
+	Pos   int64
+	State automata.StateID
+}
+
+// Engine executes a network over an input stream one symbol per Step.
+type Engine struct {
+	net *automata.Network
+
+	// startAct[b] lists all-input start states activated by symbol b.
+	startAct [256][]automata.StateID
+
+	frontier []automata.StateID // states enabled for the next Step
+	inCur    *bitvec.Vec        // membership bitmap for frontier
+	next     []automata.StateID
+	inNext   *bitvec.Vec
+
+	ever          *bitvec.Vec // ever-enabled set (nil unless tracking)
+	startsOfData  []automata.StateID
+	hasAllInput   bool
+	reportsWanted bool
+	reports       []Report
+	numReports    int64
+
+	// OnReport, when non-nil, is invoked for every activated reporting
+	// state instead of appending to the internal report list.
+	OnReport func(pos int64, s automata.StateID)
+}
+
+// Options configures a run.
+type Options struct {
+	// TrackEnabled records the ever-enabled (hot) state set.
+	TrackEnabled bool
+	// CollectReports appends each report to Result.Reports. Ignored when
+	// the engine's OnReport callback is set.
+	CollectReports bool
+}
+
+// Result summarizes a Run.
+type Result struct {
+	// Reports holds the collected reports in emission order.
+	Reports []Report
+	// NumReports counts all reports, collected or not.
+	NumReports int64
+	// EverEnabled is the hot-state set (nil unless requested).
+	EverEnabled *bitvec.Vec
+	// Symbols is the number of input symbols processed.
+	Symbols int64
+}
+
+// NewEngine builds an engine for net with the given options.
+func NewEngine(net *automata.Network, opts Options) *Engine {
+	e := &Engine{
+		net:           net,
+		inCur:         bitvec.New(net.Len()),
+		inNext:        bitvec.New(net.Len()),
+		reportsWanted: opts.CollectReports,
+	}
+	if opts.TrackEnabled {
+		e.ever = bitvec.New(net.Len())
+	}
+	for s := range net.States {
+		switch net.States[s].Start {
+		case automata.StartAllInput:
+			e.hasAllInput = true
+			syms := net.States[s].Match
+			for c := 0; c < 256; c++ {
+				if syms.Contains(byte(c)) {
+					e.startAct[c] = append(e.startAct[c], automata.StateID(s))
+				}
+			}
+		case automata.StartOfData:
+			e.startsOfData = append(e.startsOfData, automata.StateID(s))
+		}
+	}
+	e.Reset()
+	return e
+}
+
+// Reset clears all dynamic state and re-enables start-of-data states for
+// position 0. Ever-enabled tracking and report counts are also reset.
+func (e *Engine) Reset() {
+	for _, s := range e.frontier {
+		e.inCur.Clear(int(s))
+	}
+	e.frontier = e.frontier[:0]
+	for _, s := range e.next {
+		e.inNext.Clear(int(s))
+	}
+	e.next = e.next[:0]
+	if e.ever != nil {
+		e.ever.Reset()
+		// All-input starts are enabled on every cycle, hence hot by
+		// definition (assuming a non-empty input).
+		for c := 0; c < 256; c++ {
+			for _, s := range e.startAct[c] {
+				e.ever.Set(int(s))
+			}
+		}
+	}
+	for _, s := range e.startsOfData {
+		e.enableCur(s)
+	}
+	e.reports = e.reports[:0]
+	e.numReports = 0
+}
+
+// enableCur adds s to the frontier consumed by the next Step.
+func (e *Engine) enableCur(s automata.StateID) {
+	if e.net.States[s].Start == automata.StartAllInput {
+		return // always enabled; never tracked in the frontier
+	}
+	if e.inCur.TestAndSet(int(s)) {
+		e.frontier = append(e.frontier, s)
+		if e.ever != nil {
+			e.ever.Set(int(s))
+		}
+	}
+}
+
+// EnableState enables s for the next Step call. This is the SpAP "enable"
+// operation (Section V-B).
+func (e *Engine) EnableState(s automata.StateID) { e.enableCur(s) }
+
+// FrontierEmpty reports whether no state is dynamically enabled. For a
+// network with no all-input start states this is the SpAP jump condition.
+func (e *Engine) FrontierEmpty() bool { return len(e.frontier) == 0 }
+
+// FrontierLen returns the number of dynamically enabled states.
+func (e *Engine) FrontierLen() int { return len(e.frontier) }
+
+// HasAllInputStarts reports whether any state is an all-input start (such
+// states are enabled every cycle and preclude the jump optimization).
+func (e *Engine) HasAllInputStarts() bool { return e.hasAllInput }
+
+// Step processes one input symbol at position pos.
+func (e *Engine) Step(pos int64, sym byte) {
+	// Consume the current frontier and the always-enabled starts.
+	for _, s := range e.frontier {
+		e.inCur.Clear(int(s))
+		if e.net.States[s].Match.Contains(sym) {
+			e.activate(pos, s)
+		}
+	}
+	e.frontier = e.frontier[:0]
+	for _, s := range e.startAct[sym] {
+		e.activate(pos, s)
+	}
+	// Swap frontiers.
+	e.frontier, e.next = e.next, e.frontier
+	e.inCur, e.inNext = e.inNext, e.inCur
+}
+
+// activate emits reports for s and enables its successors for the next
+// cycle.
+func (e *Engine) activate(pos int64, s automata.StateID) {
+	st := &e.net.States[s]
+	if st.Report {
+		e.numReports++
+		if e.OnReport != nil {
+			e.OnReport(pos, s)
+		} else if e.reportsWanted {
+			e.reports = append(e.reports, Report{Pos: pos, State: s})
+		}
+	}
+	for _, v := range st.Succ {
+		if e.net.States[v].Start == automata.StartAllInput {
+			continue
+		}
+		if e.inNext.TestAndSet(int(v)) {
+			e.next = append(e.next, v)
+			if e.ever != nil {
+				e.ever.Set(int(v))
+			}
+		}
+	}
+}
+
+// Reports returns the collected reports (valid until the next Reset).
+func (e *Engine) Reports() []Report { return e.reports }
+
+// NumReports returns the total number of reports emitted since Reset.
+func (e *Engine) NumReports() int64 { return e.numReports }
+
+// EverEnabled returns the hot-state set, or nil if tracking was off.
+func (e *Engine) EverEnabled() *bitvec.Vec { return e.ever }
+
+// Run executes net over input and returns the result summary.
+func Run(net *automata.Network, input []byte, opts Options) *Result {
+	e := NewEngine(net, opts)
+	for i, b := range input {
+		e.Step(int64(i), b)
+	}
+	res := &Result{
+		NumReports: e.numReports,
+		Symbols:    int64(len(input)),
+	}
+	if opts.CollectReports {
+		res.Reports = append([]Report(nil), e.reports...)
+	}
+	if opts.TrackEnabled {
+		res.EverEnabled = e.ever.Clone()
+	}
+	return res
+}
+
+// HotStates runs net over input and returns the ever-enabled set. This is
+// the profiling primitive of Section IV-A.
+func HotStates(net *automata.Network, input []byte) *bitvec.Vec {
+	e := NewEngine(net, Options{TrackEnabled: true})
+	for i, b := range input {
+		e.Step(int64(i), b)
+	}
+	return e.ever
+}

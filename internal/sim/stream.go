@@ -1,0 +1,45 @@
+package sim
+
+import "sparseap/internal/automata"
+
+// Streamer adapts an Engine to incremental io.Writer-style feeding, so a
+// matcher can sit inside a network pipeline and consume data as it
+// arrives. The position counter persists across Write calls.
+type Streamer struct {
+	eng *Engine
+	pos int64
+	// OnReport receives each match as it happens.
+	OnReport func(pos int64, s automata.StateID)
+}
+
+// NewStreamer builds a streaming matcher over net.
+func NewStreamer(net *automata.Network) *Streamer {
+	st := &Streamer{}
+	st.eng = NewEngine(net, Options{})
+	st.eng.OnReport = func(pos int64, s automata.StateID) {
+		if st.OnReport != nil {
+			st.OnReport(pos, s)
+		}
+	}
+	return st
+}
+
+// Write consumes p; it never fails (the signature matches io.Writer so a
+// Streamer can terminate io.Copy / MultiWriter plumbing).
+func (st *Streamer) Write(p []byte) (int, error) {
+	for _, b := range p {
+		st.eng.Step(st.pos, b)
+		st.pos++
+	}
+	return len(p), nil
+}
+
+// Pos returns the number of symbols consumed so far.
+func (st *Streamer) Pos() int64 { return st.pos }
+
+// Reset rewinds the matcher to position 0 with no enabled states beyond
+// the start states.
+func (st *Streamer) Reset() {
+	st.eng.Reset()
+	st.pos = 0
+}

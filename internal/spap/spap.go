@@ -1,0 +1,300 @@
+// Package spap implements the paper's hardware contribution (Section V):
+// the two-mode execution of a partitioned application.
+//
+// BaseAP mode runs the predicted hot network as ordinary batched AP
+// execution; activated intermediate reporting states produce intermediate
+// reports (input position, cold state ID). SpAP mode then runs the
+// predicted cold network driven by both the input stream and the
+// intermediate-report list, using two new operations:
+//
+//   - enable: turn on the STE named by a report's hierarchical address;
+//   - jump:   when no STE is enabled, skip the input position register
+//     forward to the next report's position (Algorithm 1).
+//
+// Multiple reports at one input position serialize through the single
+// enable port, stalling input processing (enable stalls). The package also
+// provides the AP–CPU comparison system, where mis-prediction handling runs
+// on a modeled CPU instead of SpAP mode.
+package spap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sparseap/internal/ap"
+	"sparseap/internal/automata"
+	"sparseap/internal/hotcold"
+	"sparseap/internal/sim"
+)
+
+// IntermediateReport is one mis-prediction event: the original cold state
+// Target must be enabled at input position Pos.
+type IntermediateReport struct {
+	Pos    int64
+	Target automata.StateID // original network ID
+}
+
+// Result summarizes a partitioned execution (either system).
+type Result struct {
+	// BaseAPBatches is the number of BaseAP-mode configurations.
+	BaseAPBatches int
+	// ColdBatches is the number of SpAP-mode configurations built; only
+	// SpAPExecutions of them receive reports and actually run.
+	ColdBatches int
+	// SpAPExecutions counts cold batches that executed (Table IV).
+	SpAPExecutions int
+	// IntermediateReports is the number of intermediate reports
+	// generated in BaseAP mode.
+	IntermediateReports int64
+	// EnableStalls counts cycles stalled on simultaneous enables.
+	EnableStalls int64
+	// QueueRefills counts 128-entry report-queue refills from device
+	// memory during SpAP mode.
+	QueueRefills int64
+	// BaseAPCycles = BaseAPBatches × input length.
+	BaseAPCycles int64
+	// SpAPCycles is the total SpAP-mode cycle count, including stalls.
+	SpAPCycles int64
+	// SpAPProcessed counts input symbols actually processed in SpAP mode
+	// (SpAPCycles minus the enable stalls).
+	SpAPProcessed int64
+	// SpAPBatchCycles holds the cycle count of each executed SpAP batch
+	// (len == SpAPExecutions); board-level schedulers use these to
+	// overlap batches across half-cores.
+	SpAPBatchCycles []int64
+	// CPUTimeNS is the modeled CPU handling time (AP–CPU system only).
+	CPUTimeNS float64
+	// TotalCycles = BaseAPCycles + SpAPCycles (BaseAP/SpAP system).
+	TotalCycles int64
+	// TimeNS is the end-to-end time of the system.
+	TimeNS float64
+	// JumpRatio is the proportion of input positions skipped in SpAP mode
+	// thanks to jump operations (stall cycles are accounted in SpAPCycles
+	// but are not "unskipped positions"); NaN if SpAP mode never ran.
+	JumpRatio float64
+	// NumReports counts final (application) reports.
+	NumReports int64
+	// Reports holds final reports in original state IDs, when collected.
+	Reports []sim.Report
+}
+
+// Options configures an execution.
+type Options struct {
+	// CollectReports retains the final report list (original IDs).
+	CollectReports bool
+}
+
+// RunBaseAPSpAP executes the partition under the BaseAP/SpAP system of
+// Table III and returns cycle-accurate statistics.
+func RunBaseAPSpAP(p *hotcold.Partition, input []byte, cfg ap.Config, opts Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res, reports, err := runBaseAPMode(p, input, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := runSpAPMode(p, input, cfg, opts, res, reports); err != nil {
+		return nil, err
+	}
+	res.TotalCycles = res.BaseAPCycles + res.SpAPCycles
+	res.TimeNS = float64(res.TotalCycles) * cfg.CycleNS
+	return res, nil
+}
+
+// runBaseAPMode executes the hot network in batches, separating final
+// reports from intermediate reports.
+func runBaseAPMode(p *hotcold.Partition, input []byte, cfg ap.Config, opts Options) (*Result, []IntermediateReport, error) {
+	hotBatches, err := ap.PartitionNFAs(p.Hot, cfg.Capacity)
+	if err != nil {
+		return nil, nil, fmt.Errorf("spap: hot network: %w", err)
+	}
+	res := &Result{
+		BaseAPBatches: len(hotBatches),
+		BaseAPCycles:  int64(len(hotBatches)) * int64(len(input)),
+		JumpRatio:     math.NaN(),
+	}
+	var inter []IntermediateReport
+	eng := sim.NewEngine(p.Hot, sim.Options{})
+	eng.OnReport = func(pos int64, s automata.StateID) {
+		if orig := p.HotOrig[s]; orig != automata.None {
+			res.NumReports++
+			if opts.CollectReports {
+				res.Reports = append(res.Reports, sim.Report{Pos: pos, State: orig})
+			}
+			return
+		}
+		inter = append(inter, IntermediateReport{Pos: pos, Target: p.Intermediate[s]})
+	}
+	for i, b := range input {
+		eng.Step(int64(i), b)
+	}
+	res.IntermediateReports = int64(len(inter))
+	// The engine emits reports in cycle order; within a cycle order is
+	// arbitrary, which Algorithm 1 permits (all same-position reports are
+	// enabled together). Sort defensively by position for the queue model.
+	sort.SliceStable(inter, func(a, b int) bool { return inter[a].Pos < inter[b].Pos })
+	return res, inter, nil
+}
+
+// runSpAPMode executes the cold network in batches under Algorithm 1.
+func runSpAPMode(p *hotcold.Partition, input []byte, cfg ap.Config, opts Options, res *Result, inter []IntermediateReport) error {
+	if p.Cold.Len() == 0 {
+		return nil
+	}
+	coldBatches, err := ap.PartitionNFAs(p.Cold, cfg.Capacity)
+	if err != nil {
+		return fmt.Errorf("spap: cold network: %w", err)
+	}
+	res.ColdBatches = len(coldBatches)
+	if len(inter) == 0 {
+		return nil
+	}
+	// Route each report to the batch owning its target's cold NFA.
+	batchOfNFA := make([]int, p.Cold.NumNFAs())
+	for bi, b := range coldBatches {
+		for _, nfa := range b.NFAs {
+			batchOfNFA[nfa] = bi
+		}
+	}
+	perBatch := make([][]IntermediateReport, len(coldBatches))
+	for _, r := range inter {
+		cid := p.ColdID[r.Target]
+		bi := batchOfNFA[p.Cold.NFAOf[cid]]
+		perBatch[bi] = append(perBatch[bi], r)
+	}
+	for _, reports := range perBatch {
+		if len(reports) == 0 {
+			continue
+		}
+		res.SpAPExecutions++
+		st := runSpAPBatch(p, input, reports, cfg, opts, res)
+		res.SpAPBatchCycles = append(res.SpAPBatchCycles, st.cycles)
+		res.SpAPCycles += st.cycles
+		res.SpAPProcessed += st.cycles - st.stalls
+		res.EnableStalls += st.stalls
+		res.QueueRefills += st.refills
+	}
+	if res.SpAPExecutions > 0 {
+		denom := float64(res.SpAPExecutions) * float64(len(input))
+		res.JumpRatio = 1 - float64(res.SpAPProcessed)/denom
+	}
+	return nil
+}
+
+// batchStats carries per-batch SpAP accounting.
+type batchStats struct {
+	cycles  int64 // symbols processed + enable stalls
+	stalls  int64
+	refills int64
+}
+
+// runSpAPBatch is Algorithm 1. The whole cold network is simulated, driven
+// only by this batch's reports; because NFAs are independent, states
+// outside the batch are never enabled, so the result is identical to
+// simulating the batch alone.
+func runSpAPBatch(p *hotcold.Partition, input []byte, reports []IntermediateReport, cfg ap.Config, opts Options, res *Result) batchStats {
+	eng := sim.NewEngine(p.Cold, sim.Options{})
+	eng.OnReport = func(pos int64, s automata.StateID) {
+		res.NumReports++
+		if opts.CollectReports {
+			res.Reports = append(res.Reports, sim.Report{Pos: pos, State: p.ColdOrig[s]})
+		}
+	}
+	var st batchStats
+	n := int64(len(input))
+	i := int64(0)
+	j := 0
+	for i < n {
+		if eng.FrontierEmpty() {
+			if j >= len(reports) {
+				break
+			}
+			i = reports[j].Pos // jump operation
+		}
+		// Enable every report generated at this position. EnablePorts
+		// enables overlap with one symbol cycle; each additional full
+		// port-width of simultaneous reports stalls input processing for
+		// one cycle (Section V-B describes the 1-port design).
+		enabled := 0
+		for j < len(reports) && reports[j].Pos == i {
+			eng.EnableState(p.ColdID[reports[j].Target])
+			if j%cfg.ReportQueueLen == cfg.ReportQueueLen-1 {
+				st.refills++
+			}
+			j++
+			enabled++
+		}
+		if enabled > cfg.EnablePorts {
+			st.stalls += int64((enabled+cfg.EnablePorts-1)/cfg.EnablePorts - 1)
+		}
+		eng.Step(i, input[i])
+		st.cycles++
+		i++
+	}
+	st.cycles += st.stalls
+	return st
+}
+
+// CPUModel is the cost model substituted for the paper's wall-clock CPU
+// measurements (see DESIGN.md): handling an intermediate report costs
+// DispatchNS, and each input symbol the CPU interpreter processes while any
+// cold state is enabled costs SymbolNS.
+type CPUModel struct {
+	DispatchNS float64
+	SymbolNS   float64
+}
+
+// DefaultCPUModel reflects a software NFA interpreter: ~2 µs to dispatch a
+// report from the AP's output queue into the interpreter, ~300 ns per
+// processed symbol (about 40× the AP's 7.5 ns streaming cycle).
+func DefaultCPUModel() CPUModel {
+	return CPUModel{DispatchNS: 2000, SymbolNS: 300}
+}
+
+// RunAPCPU executes the partition under the AP–CPU system of Table III:
+// BaseAP mode is unchanged, but the predicted cold set runs on a CPU. The
+// CPU needs no capacity batching; it interprets the cold network from each
+// report position until the frontier dies.
+func RunAPCPU(p *hotcold.Partition, input []byte, cfg ap.Config, cpu CPUModel, opts Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res, inter, err := runBaseAPMode(p, input, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(inter) > 0 {
+		eng := sim.NewEngine(p.Cold, sim.Options{})
+		eng.OnReport = func(pos int64, s automata.StateID) {
+			res.NumReports++
+			if opts.CollectReports {
+				res.Reports = append(res.Reports, sim.Report{Pos: pos, State: p.ColdOrig[s]})
+			}
+		}
+		var processed int64
+		n := int64(len(input))
+		i := int64(0)
+		j := 0
+		for i < n {
+			if eng.FrontierEmpty() {
+				if j >= len(inter) {
+					break
+				}
+				i = inter[j].Pos
+			}
+			for j < len(inter) && inter[j].Pos == i {
+				eng.EnableState(p.ColdID[inter[j].Target])
+				j++
+			}
+			eng.Step(i, input[i])
+			processed++
+			i++
+		}
+		res.CPUTimeNS = float64(len(inter))*cpu.DispatchNS + float64(processed)*cpu.SymbolNS
+	}
+	res.TotalCycles = res.BaseAPCycles
+	res.TimeNS = float64(res.BaseAPCycles)*cfg.CycleNS + res.CPUTimeNS
+	return res, nil
+}

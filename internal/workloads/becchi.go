@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sparseap/internal/regexc"
+)
+
+// The Becchi et al. deep-packet-inspection workload suite [34]: families of
+// synthetic regex rule sets distinguished by how often patterns contain
+// character ranges (Ranges05/Ranges1), unbounded wildcard gaps
+// (Dotstar03/06/09 and ANMLZoo's large Dotstar), exact literals
+// (ExactMatch), or protocol-flavored mixes (TCP, Bro217).
+
+// becchiOpts parameterizes the pattern generator.
+type becchiOpts struct {
+	paperNFAs   int
+	minLen      int     // literal symbols per pattern, min
+	maxLen      int     // and max
+	rangeProb   float64 // probability a position is a character range
+	dotstarProb float64 // probability a pattern contains .* gaps
+	vocabSize   int     // input/pattern symbol vocabulary
+	plant       int     // full-pattern occurrences planted in the input
+}
+
+// becchiPattern generates one pattern string over the vocabulary.
+func becchiPattern(r *rand.Rand, o becchiOpts, vocab []byte) string {
+	n := o.minLen + r.Intn(o.maxLen-o.minLen+1)
+	dotstar := r.Float64() < o.dotstarProb
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if dotstar && i > 0 && i%12 == 0 {
+			b.WriteString(".*")
+		}
+		c := vocab[r.Intn(len(vocab))]
+		if r.Float64() < o.rangeProb {
+			hi := int(c) + 2 + r.Intn(4)
+			if hi > 0x7e {
+				hi = 0x7e
+			}
+			fmt.Fprintf(&b, "[\\x%02x-\\x%02x]", c, hi)
+		} else {
+			fmt.Fprintf(&b, "\\x%02x", c)
+		}
+	}
+	return b.String()
+}
+
+// literalOf extracts the plain-byte skeleton of a generated pattern for
+// planting matches into the input (ranges collapse to their low byte, gaps
+// to nothing).
+func literalOf(pattern string) []byte {
+	var out []byte
+	for i := 0; i < len(pattern); i++ {
+		if pattern[i] == '\\' && i+3 < len(pattern) && pattern[i+1] == 'x' {
+			var v int
+			fmt.Sscanf(pattern[i+2:i+4], "%02x", &v)
+			out = append(out, byte(v))
+			i += 3
+		}
+	}
+	return out
+}
+
+func buildBecchi(name, abbr string, group Group, o becchiOpts) builder {
+	return func(cfg Config, r *rand.Rand) *App {
+		nfas := cfg.scaled(o.paperNFAs)
+		vocab := asciiVocab(o.vocabSize)
+		patterns := make([]string, nfas)
+		for i := range patterns {
+			patterns[i] = becchiPattern(r, o, vocab)
+		}
+		net, err := regexc.CompileAll(patterns, regexc.Options{})
+		if err != nil {
+			panic("workloads: " + abbr + ": " + err.Error()) // generator bug, not input error
+		}
+		input := randText(r, cfg.InputLen, vocab)
+		for i := 0; i < o.plant; i++ {
+			plant(r, input, literalOf(patterns[r.Intn(len(patterns))]), 1)
+		}
+		return &App{Name: name, Abbr: abbr, Group: group, Net: net, Input: input}
+	}
+}
+
+func init() {
+	// ANMLZoo Dotstar: 96K states over 2837 NFAs, ~34 states/NFA.
+	register("DS", buildBecchi("Dotstar", "DS", High, becchiOpts{
+		paperNFAs: 2837, minLen: 24, maxLen: 40, dotstarProb: 0.6, vocabSize: 24,
+	}))
+	// Becchi suite, ~12.5K states over ~298 NFAs each, ~42 states/NFA.
+	register("DS03", buildBecchi("Dotstar03", "DS03", Low, becchiOpts{
+		paperNFAs: 299, minLen: 32, maxLen: 58, dotstarProb: 0.3, vocabSize: 20, plant: 3,
+	}))
+	register("DS06", buildBecchi("Dotstar06", "DS06", Low, becchiOpts{
+		paperNFAs: 298, minLen: 32, maxLen: 58, dotstarProb: 0.6, vocabSize: 20, plant: 3,
+	}))
+	register("DS09", buildBecchi("Dotstar09", "DS09", Low, becchiOpts{
+		paperNFAs: 297, minLen: 32, maxLen: 58, dotstarProb: 0.9, vocabSize: 20, plant: 3,
+	}))
+	register("Rg05", buildBecchi("Ranges05", "Rg05", Low, becchiOpts{
+		paperNFAs: 299, minLen: 32, maxLen: 58, rangeProb: 0.5, vocabSize: 20, plant: 3,
+	}))
+	register("Rg1", buildBecchi("Ranges1", "Rg1", Low, becchiOpts{
+		paperNFAs: 297, minLen: 32, maxLen: 58, rangeProb: 1.0, vocabSize: 20, plant: 3,
+	}))
+	register("EM", buildBecchi("ExactMatch", "EM", Low, becchiOpts{
+		paperNFAs: 297, minLen: 32, maxLen: 58, vocabSize: 20, plant: 3,
+	}))
+	// TCP: protocol rules, ~27 states/NFA over 738 NFAs.
+	register("TCP", buildBecchi("TCP", "TCP", Low, becchiOpts{
+		paperNFAs: 738, minLen: 16, maxLen: 36, rangeProb: 0.25, dotstarProb: 0.2, vocabSize: 24, plant: 4,
+	}))
+	// Bro217: short HTTP patterns, ~12 states/NFA over 187 NFAs.
+	register("Bro217", buildBecchi("Bro217", "Bro217", Low, becchiOpts{
+		paperNFAs: 187, minLen: 8, maxLen: 16, rangeProb: 0.1, vocabSize: 24, plant: 3,
+	}))
+}

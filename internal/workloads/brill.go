@@ -1,0 +1,61 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// Brill part-of-speech rule learning (ANMLZoo). Rules are sequences of tag
+// classes drawn from a small pool of templates (real Brill rule sets reuse
+// the same dozen tag groups everywhere). Each template covers about half
+// the tag alphabet, so chains decay slowly and the partition cut sits in a
+// region that keeps getting enabled — the source of Brill's many
+// intermediate reports (68K in Table IV), correlated across rules sharing
+// templates (hence the sizable stall count), while the decay still yields
+// an 81.5% jump ratio.
+
+// classTemplates builds a pool of broad symbol classes over the alphabet.
+func classTemplates(r *rand.Rand, alphabet []byte, count, width int) []symset.Set {
+	out := make([]symset.Set, count)
+	for i := range out {
+		var s symset.Set
+		for _, idx := range r.Perm(len(alphabet))[:width] {
+			s.Add(alphabet[idx])
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func templateChain(r *rand.Rand, templates []symset.Set, length int) *automata.NFA {
+	sets := make([]symset.Set, length)
+	for i := range sets {
+		sets[i] = templates[r.Intn(len(templates))]
+	}
+	return chainNFA(sets, automata.StartAllInput)
+}
+
+func init() {
+	register("Brill", func(cfg Config, r *rand.Rand) *App {
+		nfas := cfg.scaled(1962)
+		tags := asciiVocab(32)
+		templates := classTemplates(r, tags, 12, 15)
+		machines := make([]*automata.NFA, nfas)
+		for i := range machines {
+			l := 14 + r.Intn(16) // ~22 states/NFA
+			if i == 0 {
+				l = 38 // Table II MaxTopo
+			}
+			machines[i] = templateChain(r, templates, l)
+		}
+		return &App{
+			Name:  "Brill",
+			Abbr:  "Brill",
+			Group: Medium,
+			Net:   automata.NewNetwork(machines...),
+			Input: randText(r, cfg.InputLen, tags),
+		}
+	})
+}

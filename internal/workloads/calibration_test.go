@@ -1,0 +1,60 @@
+package workloads
+
+import "testing"
+
+// paperStates is Table II's state counts; generated applications must stay
+// within tolerance of paperStates/Divisor so the batch-count ratios the
+// evaluation depends on are preserved. This is the calibration regression
+// guard: a generator change that drifts an application's footprint breaks
+// here before it silently breaks the Table IV reproduction.
+var paperStates = map[string]int{
+	"CAV4k": 1124947, "HM1500": 366000, "HM1000": 244000, "Snort_L": 132171,
+	"HM500": 122000, "SPM": 100500, "DS": 96438, "ER": 95136, "RF1": 75340,
+	"Snort": 69029, "CAV": 49538,
+	"Brill": 42658, "Pro": 42009, "Fermi": 40783, "PEN": 40513, "RF2": 33220,
+	"TCP": 19704, "DS06": 12640, "Rg05": 12621, "Rg1": 12464, "EM": 12439,
+	"DS09": 12431, "DS03": 12144, "HM": 11346, "LV": 2784, "Bro217": 2312,
+}
+
+func TestTableIISizeCalibration(t *testing.T) {
+	cfg := Config{InputLen: 4096, Divisor: 16, Seed: 1}
+	for _, name := range Names() {
+		app, err := Build(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := paperStates[name] / cfg.Divisor
+		got := app.Net.Len()
+		lo, hi := want*55/100, want*175/100
+		// Snort_L's deep rules are depth-capped more aggressively at
+		// small scales; allow extra downward slack.
+		if name == "Snort_L" {
+			lo = want * 40 / 100
+		}
+		if got < lo || got > hi {
+			t.Errorf("%s: %d states, want within [%d, %d] (paper %d / %d)",
+				name, got, lo, hi, paperStates[name], cfg.Divisor)
+		}
+	}
+}
+
+func TestTableIIGroupsMatchPaper(t *testing.T) {
+	groups := map[string]Group{
+		"CAV4k": High, "HM1500": High, "HM1000": High, "Snort_L": High,
+		"HM500": High, "SPM": High, "DS": High, "ER": High, "RF1": High,
+		"Snort": High, "CAV": High,
+		"Brill": Medium, "Pro": Medium, "Fermi": Medium, "PEN": Medium, "RF2": Medium,
+		"TCP": Low, "DS06": Low, "Rg05": Low, "Rg1": Low, "EM": Low,
+		"DS09": Low, "DS03": Low, "HM": Low, "LV": Low, "Bro217": Low,
+	}
+	cfg := fastCfg()
+	for name, want := range groups {
+		app, err := Build(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if app.Group != want {
+			t.Errorf("%s: group %v, want %v", name, app.Group, want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// ClamAV-style virus scanning (ANMLZoo ClamAV and the CAV4k scale-up of
+// Section VI-A). Each signature is a long byte-sequence automaton: a short
+// prefix drawn from the scanned stream's byte-pair vocabulary (so shallow
+// layers are exercised, as real traffic exercises real signature prefixes)
+// followed by a long tail of bytes outside the stream vocabulary (virus
+// bodies that clean traffic never contains). Occasional gap states ('*'
+// wildcards in ClamAV signature syntax) appear as self-looping any-byte
+// states. This reproduces ClamAV's defining property in Figure 1: ~99%
+// cold states.
+
+// clamavSignature builds one signature NFA: prefix from the markov chain,
+// then an out-of-vocabulary tail with occasional wildcard gaps.
+func clamavSignature(r *rand.Rand, m *markov, prefixLen, tailLen int) *automata.NFA {
+	sets := make([]symset.Set, 0, prefixLen+tailLen)
+	for _, b := range m.walk(r, prefixLen) {
+		sets = append(sets, symset.Single(b))
+	}
+	for i := 0; i < tailLen; i++ {
+		sets = append(sets, symset.Single(byte(0x80+r.Intn(0x80))))
+	}
+	nfa := chainNFA(sets, automata.StartAllInput)
+	// Sprinkle wildcard gap states ('*' in ClamAV syntax): convert a few
+	// tail states to self-looping any-byte states.
+	for g := 0; g < tailLen/200; g++ {
+		idx := automata.StateID(prefixLen + r.Intn(tailLen))
+		nfa.States[idx].Match = symset.All()
+		nfa.Connect(idx, idx)
+	}
+	nfa.Dedup()
+	return nfa
+}
+
+// clamavLengths draws a signature length from a heavy-tailed distribution
+// averaging near mean with maximum maxLen (Table II's MaxTopo).
+func clamavLength(r *rand.Rand, mean, maxLen int) int {
+	var l int
+	switch r.Intn(20) {
+	case 0: // heavy tail
+		l = mean*2 + r.Intn(maxLen-mean*2+1)
+	case 1, 2, 3:
+		l = mean + r.Intn(mean)
+	default:
+		l = mean/2 + r.Intn(mean)
+	}
+	if l > maxLen {
+		l = maxLen
+	}
+	if l < 16 {
+		l = 16
+	}
+	return l
+}
+
+func buildClamAV(name, abbr string, group Group, paperNFAs, meanLen, maxLen, prefixLen int, sampled bool) builder {
+	return func(cfg Config, r *rand.Rand) *App {
+		nfas := cfg.scaled(paperNFAs)
+		maxLen := cfg.depthCap(maxLen)
+		meanLen := meanLen
+		if meanLen > maxLen/2 {
+			meanLen = maxLen / 2
+		}
+		chain := newMarkov(r, asciiVocab(48), 4)
+		input := chain.generate(r, cfg.InputLen)
+		machines := make([]*automata.NFA, nfas)
+		for i := range machines {
+			l := clamavLength(r, meanLen, maxLen)
+			if i == 0 {
+				l = maxLen // pin the Table II maximum topological order
+			}
+			if sampled && i%4 == 3 && l > 120 {
+				// Signatures extracted from recurring file blocks: the
+				// prefix is a literal input substring, replanted a few
+				// times. These traversals reach far deeper than the
+				// profile-extended cut, producing ClamAV's small
+				// intermediate-report stream (Table IV) at a high jump
+				// ratio.
+				off := r.Intn(len(input) - 96)
+				pre := append([]byte(nil), input[off:off+80]...)
+				plant(r, input, pre, 4)
+				sets := append(singles(pre), singles(randBytes(r, l-80))...)
+				machines[i] = chainNFA(sets, automata.StartAllInput)
+				continue
+			}
+			machines[i] = clamavSignature(r, chain, prefixLen, l-prefixLen)
+		}
+		return &App{
+			Name:  name,
+			Abbr:  abbr,
+			Group: group,
+			Net:   automata.NewNetwork(machines...),
+			Input: input,
+		}
+	}
+}
+
+func init() {
+	// CAV4k: first 4000 signatures of the Q1-2018 ClamAV main.cvd;
+	// 1.12M states over 4000 NFAs, MaxTopo 2080. Pair-vocabulary prefixes
+	// (length 2) make the short profile's prediction essentially perfect,
+	// matching Table IV's zero intermediate reports.
+	register("CAV4k", buildClamAV("ClamAV4000", "CAV4k", High, 4000, 200, 2080, 2, false))
+	// CAV: ANMLZoo ClamAV; 49.5K states over 515 NFAs, MaxTopo 542.
+	// Triple prefixes leave a few rare deep enables for the profile to
+	// miss, matching Table IV's 3215 intermediate reports.
+	register("CAV", buildClamAV("ClamAV", "CAV", High, 515, 70, 542, 3, true))
+}

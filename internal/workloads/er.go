@@ -1,0 +1,66 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// ER — entity resolution (ANMLZoo). The application matches person names
+// under token reordering, which compiles into automata dominated by one
+// large cycle over the token states: any token may follow any other until
+// the name is resolved. The giant SCC is what Figure 8 highlights — a
+// topological-order partition cannot cut inside it, so once any member is
+// hot the whole SCC is predicted hot and the scheme falls back to plain
+// batched execution (Table IV: 4 baseline batches, 4 BaseAP batches, no
+// SpAP work).
+
+// erNFA builds one entity automaton: a name-boundary entry into a ring of
+// token states forming one SCC covering ~98% of the NFA. The entry fires
+// immediately on any stream, so even the shortest profile marks a ring
+// member hot — and SCC atomicity then drags the whole ring into the
+// predicted hot set, reproducing the paper's "ER cannot be partitioned"
+// result at every scale.
+func erNFA(r *rand.Rand, vocab []byte, ringLen int) *automata.NFA {
+	m := automata.NewNFA()
+	sep := m.Add(symset.All(), automata.StartAllInput, false)
+	// Token ring: each state accepts a few symbols; edges form a cycle
+	// plus chords, so the whole ring is one SCC.
+	ring := make([]automata.StateID, ringLen)
+	for i := range ring {
+		var set symset.Set
+		for k := 0; k < 3; k++ {
+			set.Add(vocab[r.Intn(len(vocab))])
+		}
+		ring[i] = m.Add(set, automata.StartNone, i == ringLen-1)
+	}
+	m.Connect(sep, ring[0])
+	for i := range ring {
+		m.Connect(ring[i], ring[(i+1)%ringLen])
+		if i%7 == 0 { // chords keep the SCC tight
+			m.Connect(ring[i], ring[(i+ringLen/2)%ringLen])
+		}
+	}
+	m.Dedup()
+	return m
+}
+
+func init() {
+	register("ER", func(cfg Config, r *rand.Rand) *App {
+		nfas := cfg.scaled(1000)
+		vocab := asciiVocab(30)
+		machines := make([]*automata.NFA, nfas)
+		for i := range machines {
+			machines[i] = erNFA(r, vocab, 92) // 1 + 92 = 93 states/NFA
+		}
+		input := randText(r, cfg.InputLen, append(vocab, ' '))
+		return &App{
+			Name:  "EntityResolution",
+			Abbr:  "ER",
+			Group: High,
+			Net:   automata.NewNetwork(machines...),
+			Input: input,
+		}
+	})
+}

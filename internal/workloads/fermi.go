@@ -1,0 +1,54 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// Fermi particle-track reconstruction (ANMLZoo): anchored automata that
+// consume a detector-hit record from the start of the data (start-of-data
+// starts, MaxTopo 13). Hit windows are wide byte ranges, so every layer is
+// exercised and the whole application stays hot — Table IV shows no
+// resource saving (2 baseline batches, 2 BaseAP batches, no SpAP work).
+
+func fermiNFA(r *rand.Rand, length int) *automata.NFA {
+	m := automata.NewNFA()
+	root := m.Add(symset.All(), automata.StartOfData, false)
+	m.Connect(root, root)
+	prev := root
+	for i := 0; i < length; i++ {
+		lo := byte(r.Intn(64))
+		st := m.Add(symset.Range(lo, lo+191), automata.StartNone, i == length-1)
+		m.Connect(prev, st)
+		prev = st
+	}
+	// A second branch from the anchor gives Fermi's ~17 states/NFA.
+	prev = root
+	for i := 0; i < length/3; i++ {
+		lo := byte(r.Intn(64))
+		st := m.Add(symset.Range(lo, lo+191), automata.StartNone, i == length/3-1)
+		m.Connect(prev, st)
+		prev = st
+	}
+	return m
+}
+
+func init() {
+	register("Fermi", func(cfg Config, r *rand.Rand) *App {
+		nfas := cfg.scaled(2399)
+		machines := make([]*automata.NFA, nfas)
+		for i := range machines {
+			machines[i] = fermiNFA(r, 12) // 1 + 12 + 4 = 17 states, MaxTopo 13
+		}
+		return &App{
+			Name:        "Fermi",
+			Abbr:        "Fermi",
+			Group:       Medium,
+			Net:         automata.NewNetwork(machines...),
+			Input:       randBytes(r, cfg.InputLen),
+			StartOfData: true,
+		}
+	})
+}

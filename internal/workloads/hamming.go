@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// Hamming-distance motif finding (ANMLZoo Hamming, and the scaled-up
+// HM500/HM1000/HM1500 of Section VI-A), built in the BMIA (Bounded
+// Mismatch Identification Automaton) form: the automaton accepts any string
+// within Hamming distance d of the pattern. Homogeneity forces separate
+// "matched p[i]" and "mismatched p[i]" states per (position, mismatch
+// count) cell, which is why ANMLZoo's Hamming NFAs run ~122 states for
+// 20-symbol patterns.
+
+// BMIA constructs the bounded-mismatch identification automaton for
+// pattern p with distance budget d. Exported for the public facade and the
+// motif-finding example.
+func BMIA(p []byte, d int) *automata.NFA {
+	m := automata.NewNFA()
+	l := len(p)
+	// matchID[i][j]: consumed i symbols, j mismatches, last symbol matched
+	// p[i-1]. mismID[i][j]: same but last symbol mismatched p[i-1].
+	matchID := make([][]automata.StateID, l+1)
+	mismID := make([][]automata.StateID, l+1)
+	for i := 0; i <= l; i++ {
+		matchID[i] = make([]automata.StateID, d+1)
+		mismID[i] = make([]automata.StateID, d+1)
+		for j := 0; j <= d; j++ {
+			matchID[i][j] = automata.None
+			mismID[i][j] = automata.None
+		}
+	}
+	for i := 1; i <= l; i++ {
+		sym := symset.Single(p[i-1])
+		neg := sym.Complement()
+		maxJ := d
+		if i-1 < maxJ {
+			maxJ = i - 1
+		}
+		for j := 0; j <= maxJ; j++ {
+			start := automata.StartNone
+			if i == 1 {
+				start = automata.StartAllInput
+			}
+			matchID[i][j] = m.Add(sym, start, i == l)
+		}
+		maxJm := d
+		if i < maxJm {
+			maxJm = i
+		}
+		for j := 1; j <= maxJm; j++ {
+			start := automata.StartNone
+			if i == 1 {
+				start = automata.StartAllInput
+			}
+			mismID[i][j] = m.Add(neg, start, i == l)
+		}
+	}
+	connect := func(from automata.StateID, i, j int) {
+		if from == automata.None || i > l {
+			return
+		}
+		if v := matchID[i][j]; v != automata.None {
+			m.Connect(from, v)
+		}
+		if j+1 <= d {
+			if v := mismID[i][j+1]; v != automata.None {
+				m.Connect(from, v)
+			}
+		}
+	}
+	for i := 1; i < l; i++ {
+		for j := 0; j <= d; j++ {
+			connect(matchID[i][j], i+1, j)
+			connect(mismID[i][j], i+1, j)
+		}
+	}
+	return m
+}
+
+// hammingDistance returns the paper's distance rule: 2 up to 20% of the
+// pattern length.
+func hammingDistance(patLen int) int {
+	d := patLen / 5
+	if d < 2 {
+		d = 2
+	}
+	return d
+}
+
+// buildHamming assembles a Hamming application with the given NFA count.
+// Motif-finding inputs genuinely contain the motifs: the background is
+// random bytes (on which a BMIA's mismatch lattice dies within its distance
+// budget, keeping the deep cells cold), while ~15% of the patterns are
+// "present motifs" with many mutated instances planted throughout the
+// stream. Each instance drives one lattice deep — a short profile misses
+// most instance-bearing regions, so the actual run produces the bursty
+// intermediate-report stream with a ~99% jump ratio that Table IV shows
+// for the HM family.
+func buildHamming(name, abbr string, group Group, paperNFAs int, lengths []int) builder {
+	return func(cfg Config, r *rand.Rand) *App {
+		nfas := cfg.scaled(paperNFAs)
+		machines := make([]*automata.NFA, nfas)
+		patterns := make([][]byte, nfas)
+		for i := range machines {
+			l := lengths[r.Intn(len(lengths))]
+			p := make([]byte, l)
+			for k := range p {
+				p[k] = byte(r.Intn(256))
+			}
+			patterns[i] = p
+			machines[i] = BMIA(p, hammingDistance(l))
+		}
+		input := randBytes(r, cfg.InputLen)
+		// Present motifs: mutated instances planted across the stream.
+		for i := range patterns {
+			if i%7 != 0 {
+				continue
+			}
+			d := hammingDistance(len(patterns[i]))
+			instances := 40 + r.Intn(60)
+			for k := 0; k < instances; k++ {
+				p := append([]byte(nil), patterns[i]...)
+				for m := 0; m < r.Intn(d+3); m++ {
+					p[r.Intn(len(p))] = byte(r.Intn(256))
+				}
+				plant(r, input, p, 1)
+			}
+		}
+		return &App{
+			Name:  name,
+			Abbr:  abbr,
+			Group: group,
+			Net:   automata.NewNetwork(machines...),
+			Input: input,
+		}
+	}
+}
+
+func init() {
+	// The HM500/1000/1500 scale-ups mix expected pattern lengths 8-30 as
+	// the paper describes; the weighted mix averages ~122 states/NFA.
+	scaleMix := []int{8, 8, 12, 12, 20, 30}
+	register("HM1500", buildHamming("Hamming1500", "HM1500", High, 3000, scaleMix))
+	register("HM1000", buildHamming("Hamming1000", "HM1000", High, 2000, scaleMix))
+	register("HM500", buildHamming("Hamming500", "HM500", High, 1000, scaleMix))
+	// ANMLZoo Hamming uses uniform 20-symbol motifs.
+	register("HM", buildHamming("Hamming", "HM", Low, 93, []int{20}))
+}

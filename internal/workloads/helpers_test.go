@@ -1,0 +1,6 @@
+package workloads
+
+import "sparseap/internal/automata"
+
+// netOf wraps a single NFA as a network (test helper).
+func netOf(m *automata.NFA) *automata.Network { return automata.NewNetwork(m) }

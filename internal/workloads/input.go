@@ -1,0 +1,95 @@
+package workloads
+
+import "math/rand"
+
+// vocab builders: inputs are drawn from restricted symbol vocabularies so
+// that the prefix used for profiling is statistically representative of the
+// rest of the stream — the property Section IV-A's profiling evaluation
+// depends on.
+
+// asciiVocab returns n distinct printable symbols.
+func asciiVocab(n int) []byte {
+	out := make([]byte, 0, n)
+	for c := byte(0x20); c < 0x7f && len(out) < n; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// randText fills a length-n stream with symbols drawn uniformly from vocab.
+func randText(r *rand.Rand, n int, vocab []byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = vocab[r.Intn(len(vocab))]
+	}
+	return out
+}
+
+// randBytes fills a length-n stream with uniform random bytes.
+func randBytes(r *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.Intn(256))
+	}
+	return out
+}
+
+// plant copies needle into input at count random positions (clipped at the
+// end), simulating streams that contain genuine matches.
+func plant(r *rand.Rand, input []byte, needle []byte, count int) {
+	if len(needle) == 0 || len(input) == 0 {
+		return
+	}
+	for i := 0; i < count; i++ {
+		pos := r.Intn(len(input))
+		copy(input[pos:], needle)
+	}
+}
+
+// markovText generates text where each symbol depends on the previous one,
+// restricted to a fixed successor set per symbol. This produces a stream
+// with a stable pair vocabulary: every 2-gram that ever occurs occurs
+// often, so a short profiling prefix observes the same reachable set as the
+// full stream (the ClamAV-family generators rely on this).
+type markov struct {
+	vocab []byte
+	succ  [][]byte
+}
+
+// newMarkov builds a chain over vocab where each symbol has fanout possible
+// successors.
+func newMarkov(r *rand.Rand, vocab []byte, fanout int) *markov {
+	m := &markov{vocab: vocab, succ: make([][]byte, 256)}
+	for _, c := range vocab {
+		s := make([]byte, fanout)
+		for i := range s {
+			s[i] = vocab[r.Intn(len(vocab))]
+		}
+		m.succ[c] = s
+	}
+	return m
+}
+
+// generate emits n symbols from the chain.
+func (m *markov) generate(r *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	cur := m.vocab[r.Intn(len(m.vocab))]
+	for i := range out {
+		out[i] = cur
+		cur = m.succ[cur][r.Intn(len(m.succ[cur]))]
+	}
+	return out
+}
+
+// walk returns a length-k path through the chain starting at a random
+// vocabulary symbol; used to synthesize signature prefixes that the input
+// can actually reach.
+func (m *markov) walk(r *rand.Rand, k int) []byte {
+	out := make([]byte, k)
+	cur := m.vocab[r.Intn(len(m.vocab))]
+	for i := range out {
+		out[i] = cur
+		cur = m.succ[cur][r.Intn(len(m.succ[cur]))]
+	}
+	return out
+}

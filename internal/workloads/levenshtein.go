@@ -1,0 +1,93 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// Levenshtein edit-distance matching (ANMLZoo): a lattice of
+// (pattern-position, edits) cells. ANMLZoo's construction wires its
+// wildcard insertion states into cycles, producing the large SCCs the
+// paper calls out (Figures 8: LV cannot be partitioned effectively). We
+// reproduce the lattice with per-edit-row insertion rings: each row's
+// any-symbol insertion states form one cycle, merging most of the row into
+// a single SCC.
+
+func levenshteinNFA(r *rand.Rand, pattern []byte, d int) *automata.NFA {
+	m := automata.NewNFA()
+	l := len(pattern)
+	// cell[i][j]: consumed i pattern symbols with j edits (match states).
+	cell := make([][]automata.StateID, l+1)
+	for i := range cell {
+		cell[i] = make([]automata.StateID, d+1)
+		for j := range cell[i] {
+			cell[i][j] = automata.None
+		}
+	}
+	for i := 1; i <= l; i++ {
+		for j := 0; j <= d; j++ {
+			start := automata.StartNone
+			if i == 1 && j == 0 {
+				start = automata.StartAllInput
+			}
+			cell[i][j] = m.Add(symset.Single(pattern[i-1]), start, i == l)
+		}
+	}
+	// ins[i][j]: any-symbol insertion state between positions.
+	ins := make([][]automata.StateID, l+1)
+	for i := range ins {
+		ins[i] = make([]automata.StateID, d+1)
+		for j := range ins[i] {
+			ins[i][j] = automata.None
+		}
+	}
+	for i := 1; i <= l; i++ {
+		for j := 1; j <= d; j++ {
+			ins[i][j] = m.Add(symset.All(), automata.StartNone, false)
+		}
+	}
+	for i := 1; i <= l; i++ {
+		for j := 0; j <= d; j++ {
+			if i < l {
+				m.Connect(cell[i][j], cell[i+1][j]) // match next symbol
+				if j < d {
+					m.Connect(cell[i][j], cell[i+1][j+1]) // substitution
+					m.Connect(cell[i][j], ins[i][j+1])    // insertion
+					m.Connect(ins[i][j+1], cell[i+1][j+1])
+				}
+			}
+		}
+	}
+	// Per-row insertion ring: ANMLZoo's cyclic wildcard wiring. This makes
+	// each edit row's insertion states one SCC.
+	for j := 1; j <= d; j++ {
+		for i := 1; i <= l; i++ {
+			next := i%l + 1
+			m.Connect(ins[i][j], ins[next][j])
+		}
+	}
+	m.Dedup()
+	return m
+}
+
+func init() {
+	register("LV", func(cfg Config, r *rand.Rand) *App {
+		nfas := cfg.scaled(24)
+		vocab := asciiVocab(26)
+		machines := make([]*automata.NFA, nfas)
+		for i := range machines {
+			p := randText(r, 24, vocab)
+			machines[i] = levenshteinNFA(r, p, 2) // ~24*3 + 24*2 = 120 states
+		}
+		input := randText(r, cfg.InputLen, vocab)
+		return &App{
+			Name:  "Levenshtein",
+			Abbr:  "LV",
+			Group: Low,
+			Net:   automata.NewNetwork(machines...),
+			Input: input,
+		}
+	})
+}

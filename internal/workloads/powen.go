@@ -1,0 +1,63 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// PEN — IBM PowerEN pattern set (ANMLZoo). PEN is the paper's cautionary
+// tale: its resource savings are good, but its input's early region is
+// unrepresentative, so the profiled partition boundary is crossed
+// constantly during the actual run. Millions of intermediate reports land
+// on the same input positions (5.45M reports with 4.5M enable stalls in
+// Table IV), serializing on the single SpAP enable port and producing a net
+// slowdown. We reproduce this with a phased input — a quiet preamble
+// (which is all a 0.1-1% profile sees) followed by an active body — and
+// rules whose mid-depth states accept broad classes of the active
+// vocabulary.
+
+func penNFA(r *rand.Rand, trigger []byte, active []byte, length int) *automata.NFA {
+	sets := make([]symset.Set, length)
+	sets[0] = symset.Single(trigger[r.Intn(len(trigger))])
+	for i := 1; i < length; i++ {
+		var s symset.Set
+		// Very broad classes (~80% of the body vocabulary): pulses survive
+		// layer after layer, so the mis-predicted cut is crossed
+		// constantly — the Table IV report flood.
+		for _, idx := range r.Perm(len(active))[:len(active)*4/5] {
+			s.Add(active[idx])
+		}
+		sets[i] = s
+	}
+	return chainNFA(sets, automata.StartAllInput)
+}
+
+func init() {
+	register("PEN", func(cfg Config, r *rand.Rand) *App {
+		nfas := cfg.scaled(2857)
+		quiet := asciiVocab(16)       // preamble vocabulary
+		active := asciiVocab(40)[16:] // disjoint body vocabulary
+		machines := make([]*automata.NFA, nfas)
+		for i := range machines {
+			l := 10 + r.Intn(9) // ~14 states/NFA
+			if i == 0 {
+				l = 44 // Table II MaxTopo
+			}
+			machines[i] = penNFA(r, active, active, l)
+		}
+		// 2% quiet preamble (covers the 0.1% and 1% profiling prefixes),
+		// then the active body.
+		input := randText(r, cfg.InputLen, active)
+		preamble := cfg.InputLen / 50
+		copy(input, randText(r, preamble, quiet))
+		return &App{
+			Name:  "PowerEN",
+			Abbr:  "PEN",
+			Group: Medium,
+			Net:   automata.NewNetwork(machines...),
+			Input: input,
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"sparseap/internal/automata"
+)
+
+// Protomata protein-motif matching (ANMLZoo): motifs over the 20-letter
+// amino-acid alphabet, mostly short with a long tail (MaxTopo 123).
+// PROSITE-style motifs reuse a small set of residue groups ([LIVM],
+// [DE], [KRH], ...), modeled here as broad shared class templates whose
+// slow decay keeps the partition boundary busy — 90K intermediate reports
+// at a 77% jump ratio in Table IV.
+
+var aminoAcids = []byte("ACDEFGHIKLMNPQRSTVWY")
+
+func init() {
+	register("Pro", func(cfg Config, r *rand.Rand) *App {
+		nfas := cfg.scaled(2340)
+		templates := classTemplates(r, aminoAcids, 10, 9)
+		machines := make([]*automata.NFA, nfas)
+		for i := range machines {
+			l := 10 + r.Intn(14) // ~17 states/NFA
+			if i == 0 {
+				l = 123 // Table II MaxTopo
+			}
+			machines[i] = templateChain(r, templates, l)
+		}
+		return &App{
+			Name:  "Protomata",
+			Abbr:  "Pro",
+			Group: Medium,
+			Net:   automata.NewNetwork(machines...),
+			Input: randText(r, cfg.InputLen, aminoAcids),
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// Random Forest inference (ANMLZoo RandomForest, two rule-set sizes). Each
+// tree path compiles to a depth-3 chain of feature-interval tests — wide
+// byte-range symbol sets — and an NFA bundles several paths (~20 states,
+// MaxTopo 3 in Table II). The wide intervals make every layer fire
+// constantly, so essentially all states are hot and the partitioner leaves
+// the application untouched (Table IV: RF1 4→4 batches, RF2 2→2).
+
+// rfNFA bundles paths of three interval tests.
+func rfNFA(r *rand.Rand, paths int) *automata.NFA {
+	m := automata.NewNFA()
+	interval := func() symset.Set {
+		lo := r.Intn(156)
+		hi := lo + 40 + r.Intn(60)
+		if hi > 255 {
+			hi = 255
+		}
+		return symset.Range(byte(lo), byte(hi))
+	}
+	for p := 0; p < paths; p++ {
+		a := m.Add(interval(), automata.StartAllInput, false)
+		b := m.Add(interval(), automata.StartNone, false)
+		c := m.Add(interval(), automata.StartNone, true)
+		m.Connect(a, b)
+		m.Connect(b, c)
+	}
+	return m
+}
+
+func buildRF(name, abbr string, group Group, paperNFAs int) builder {
+	return func(cfg Config, r *rand.Rand) *App {
+		nfas := cfg.scaled(paperNFAs)
+		machines := make([]*automata.NFA, nfas)
+		for i := range machines {
+			machines[i] = rfNFA(r, 6+r.Intn(2)) // 18-21 states
+		}
+		return &App{
+			Name:  name,
+			Abbr:  abbr,
+			Group: group,
+			Net:   automata.NewNetwork(machines...),
+			Input: randBytes(r, cfg.InputLen), // feature-value stream
+		}
+	}
+}
+
+func init() {
+	register("RF1", buildRF("RandomForest1", "RF1", High, 3767))
+	register("RF2", buildRF("RandomForest2", "RF2", Medium, 1661))
+}

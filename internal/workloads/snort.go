@@ -1,0 +1,101 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sparseap/internal/regexc"
+)
+
+// Snort network-intrusion rules (ANMLZoo Snort and the Snort_L scale-up of
+// Section VI-A). Each rule is a short content trigger followed by a broad
+// payload class and a narrow tail. Triggers come from a shared pool, as
+// real rule sets share common tokens ("GET ", "POST", protocol headers);
+// when a pooled trigger fires naturally in the traffic, every rule sharing
+// it attempts its payload class at the same position — the source of
+// Snort_L's simultaneous intermediate reports (173K reports, 88K stalls in
+// Table IV). The narrow tails die within a cycle or two, so SpAP mode
+// skips nearly everything (98-99.99% jump ratios). Trigger length tunes
+// the natural firing rate: Snort's 3-symbol triggers essentially never
+// fire (70 reports in the paper), Snort_L's 2-symbol triggers fire every
+// few thousand symbols.
+
+type snortOpts struct {
+	paperNFAs   int
+	tailMin     int
+	tailMax     int
+	runLen      int // broad payload-class run after the trigger
+	triggerLen  int // symbols per pooled trigger
+	triggerPool int // distinct triggers shared by the rules
+	deepRules   int // rules with a long bounded gap (MaxTopo drivers)
+	deepLen     int
+	vocabSize   int
+}
+
+func snortRule(r *rand.Rand, o snortOpts, trigger []byte, vocab []byte, deep bool) string {
+	var b strings.Builder
+	for _, c := range trigger {
+		fmt.Fprintf(&b, "\\x%02x", c)
+	}
+	if deep {
+		fmt.Fprintf(&b, ".{%d}", o.deepLen)
+		fmt.Fprintf(&b, "\\x%02x", vocab[r.Intn(len(vocab))])
+		return b.String()
+	}
+	// Broad payload-class run after the trigger (~3/4 of the vocabulary,
+	// so pulses decay slowly through it), then a narrow literal tail.
+	lo := vocab[0]
+	hi := vocab[len(vocab)*3/4]
+	fmt.Fprintf(&b, "[\\x%02x-\\x%02x]{%d}", lo, hi, o.runLen)
+	tail := o.tailMin + r.Intn(o.tailMax-o.tailMin+1)
+	for i := 0; i < tail; i++ {
+		fmt.Fprintf(&b, "\\x%02x", vocab[r.Intn(len(vocab))])
+	}
+	return b.String()
+}
+
+func buildSnort(name, abbr string, group Group, o snortOpts) builder {
+	return func(cfg Config, r *rand.Rand) *App {
+		o := o
+		nfas := cfg.scaled(o.paperNFAs)
+		o.deepLen = cfg.depthCap(o.deepLen+12) - 12
+		deep := o.deepRules
+		if deep > nfas {
+			deep = nfas
+		}
+		vocab := asciiVocab(o.vocabSize)
+		pool := make([][]byte, o.triggerPool)
+		for i := range pool {
+			pool[i] = randText(r, o.triggerLen, vocab)
+		}
+		patterns := make([]string, nfas)
+		for i := range patterns {
+			patterns[i] = snortRule(r, o, pool[r.Intn(len(pool))], vocab, i < deep)
+		}
+		net, err := regexc.CompileAll(patterns, regexc.Options{})
+		if err != nil {
+			panic("workloads: " + abbr + ": " + err.Error())
+		}
+		input := randText(r, cfg.InputLen, vocab)
+		return &App{Name: name, Abbr: abbr, Group: group, Net: net, Input: input}
+	}
+}
+
+func init() {
+	// Snort: 69K states over 2687 NFAs, ~26 states/NFA, MaxTopo 133.
+	// 3-symbol triggers over a 48-symbol vocabulary fire ~once per 110K
+	// symbols: a handful of intermediate reports, as in Table IV.
+	register("Snort", buildSnort("Snort", "Snort", High, snortOpts{
+		paperNFAs: 2687, tailMin: 6, tailMax: 24, runLen: 10, triggerLen: 3,
+		triggerPool: 40, deepRules: 1, deepLen: 125, vocabSize: 48,
+	}))
+	// Snort_L: 3126 community+registered rules, 132K states, MaxTopo 4509.
+	// 2-symbol triggers fire every ~2.3K symbols, and the shared pool makes
+	// the crossings simultaneous. depthCap shrinks the deep gap rules so a
+	// single NFA still fits the scaled half-core.
+	register("Snort_L", buildSnort("Snort_big", "Snort_L", High, snortOpts{
+		paperNFAs: 3126, tailMin: 8, tailMax: 28, runLen: 12, triggerLen: 2,
+		triggerPool: 24, deepRules: 2, deepLen: 4509, vocabSize: 64,
+	}))
+}

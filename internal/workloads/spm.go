@@ -1,0 +1,84 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// SPM — sequential pattern mining (ANMLZoo). Each NFA recognizes an
+// ordered itemset sequence with arbitrary gaps, anchored at the start of
+// the transaction stream: a start-of-data any-symbol self-loop feeds a
+// chain of item states interleaved with any-symbol gap self-loops.
+//
+// Gap states stay enabled once reached, which produces SPM's distinctive
+// dynamics: most states are hot (small resource saving; Table IV shows 5
+// baseline batches shrinking only to 4), and once a mis-predicted deep gap
+// state is enabled in SpAP mode the frontier never empties again, so jump
+// operations skip almost nothing (2.1% jump ratio — SpAP streams nearly the
+// whole input). We reproduce this by drawing the deepest two items from a
+// rare symbol vocabulary that a short profiling prefix usually misses.
+
+func spmNFA(items []byte) *automata.NFA {
+	m := automata.NewNFA()
+	// Anchored any-symbol self-loop: enabled from position 0 onward.
+	root := m.Add(symset.All(), automata.StartOfData, false)
+	m.Connect(root, root)
+	prev := root
+	for i, it := range items {
+		last := i == len(items)-1
+		item := m.Add(symset.Single(it), automata.StartNone, last)
+		m.Connect(prev, item)
+		if !last {
+			gap := m.Add(symset.All(), automata.StartNone, false)
+			m.Connect(item, gap)
+			m.Connect(gap, gap)
+			prev = gap
+		}
+	}
+	return m
+}
+
+func init() {
+	register("SPM", func(cfg Config, r *rand.Rand) *App {
+		nfas := cfg.scaled(5025)
+		common := asciiVocab(64)
+		rare := make([]byte, 128) // disjoint high-byte vocabulary
+		for i := range rare {
+			rare[i] = byte(0x80 + i)
+		}
+		machines := make([]*automata.NFA, nfas)
+		for i := range machines {
+			// 8 items -> 1 + 8 + 7 = 16 states, MaxTopo 16 (Table II).
+			items := make([]byte, 8)
+			for k := range items {
+				items[k] = common[r.Intn(len(common))]
+			}
+			// 40% of the patterns mine rare items at their tail: those
+			// two layers (plus the gap between) are what the profile
+			// misses, and the any-symbol gap keeps the SpAP frontier
+			// alive once crossed (the 2.1% jump ratio of Table IV).
+			if i%5 < 2 {
+				items[6] = rare[r.Intn(len(rare))]
+				items[7] = rare[r.Intn(len(rare))]
+			}
+			machines[i] = spmNFA(items)
+		}
+		// Transactions are mostly common items with ~0.3% rare items.
+		input := randText(r, cfg.InputLen, common)
+		for i := range input {
+			if r.Float64() < 0.003 {
+				input[i] = rare[r.Intn(len(rare))]
+			}
+		}
+		return &App{
+			Name:        "SPM",
+			Abbr:        "SPM",
+			Group:       High,
+			Net:         automata.NewNetwork(machines...),
+			Input:       input,
+			StartOfData: true,
+		}
+	})
+}

@@ -1,0 +1,188 @@
+// Package sparseap is a Go reproduction of "Architectural Support for
+// Efficient Large-Scale Automata Processing" (MICRO 2018): a toolchain for
+// running large homogeneous-NFA applications on a modeled Automata
+// Processor (AP) with profiling-based hot/cold state partitioning and the
+// SparseAP (SpAP) sparse execution mode.
+//
+// The typical pipeline is:
+//
+//	net, _ := sparseap.CompileRegex([]string{"virus[0-9]+", "worm.{4}sig"})
+//	eng := sparseap.NewEngine(sparseap.DefaultAPConfig())
+//	part, _ := eng.Partition(net, profilingInput)           // compile time
+//	res, _ := eng.RunBaseAPSpAP(part, input)                // BaseAP + SpAP
+//	base, _ := eng.RunBaseline(net, input)                  // batched AP
+//	fmt.Println(sparseap.Speedup(base.Cycles, res.TotalCycles))
+//
+// The heavy lifting lives in the internal packages (automata model,
+// functional simulator, AP hardware model, partitioner, SpAP executor,
+// workload generators); this package is the stable surface a downstream
+// user needs.
+package sparseap
+
+import (
+	"io"
+
+	"sparseap/internal/anml"
+	"sparseap/internal/ap"
+	"sparseap/internal/automata"
+	"sparseap/internal/graph"
+	"sparseap/internal/hotcold"
+	"sparseap/internal/metrics"
+	"sparseap/internal/regexc"
+	"sparseap/internal/sim"
+	"sparseap/internal/spap"
+	"sparseap/internal/workloads"
+)
+
+// Core model types.
+type (
+	// Network is an application: a set of NFAs in one global state space.
+	Network = automata.Network
+	// NFA is a single homogeneous automaton.
+	NFA = automata.NFA
+	// StateID identifies a state within an NFA or Network.
+	StateID = automata.StateID
+	// State is one homogeneous NFA state (one STE).
+	State = automata.State
+	// Report is one match event (input position, reporting state).
+	Report = sim.Report
+	// APConfig describes an AP half-core.
+	APConfig = ap.Config
+	// CPUModel is the AP–CPU handler cost model.
+	CPUModel = spap.CPUModel
+	// Partition is a compiled hot/cold split with intermediate reporting
+	// states and translation table.
+	Partition = hotcold.Partition
+	// ExecResult summarizes a partitioned execution.
+	ExecResult = spap.Result
+	// BaselineResult summarizes a baseline batched execution.
+	BaselineResult = ap.BaselineResult
+)
+
+// Start kinds (ANML).
+const (
+	StartNone     = automata.StartNone
+	StartAllInput = automata.StartAllInput
+	StartOfData   = automata.StartOfData
+)
+
+// DefaultAPConfig returns the 1/8-scaled AP half-core used throughout the
+// repository's experiments (3K STEs); see ap.PaperConfig for the full 24K
+// half-core.
+func DefaultAPConfig() APConfig { return ap.DefaultConfig() }
+
+// PaperAPConfig returns the paper's 24K-STE half-core.
+func PaperAPConfig() APConfig { return ap.PaperConfig() }
+
+// CompileRegex compiles each pattern into one NFA and flattens them into a
+// network. See internal/regexc for the supported syntax.
+func CompileRegex(patterns []string) (*Network, error) {
+	return regexc.CompileAll(patterns, regexc.Options{})
+}
+
+// CompilePattern compiles a single pattern into an NFA.
+func CompilePattern(pattern string) (*NFA, error) {
+	return regexc.Compile(pattern, regexc.Options{})
+}
+
+// NewNetwork flattens NFAs into a Network.
+func NewNetwork(nfas ...*NFA) *Network { return automata.NewNetwork(nfas...) }
+
+// HammingNFA builds a bounded-mismatch automaton accepting every string
+// within Hamming distance d of pattern (the ANMLZoo BMIA construction).
+func HammingNFA(pattern []byte, d int) *NFA { return workloads.BMIA(pattern, d) }
+
+// ReadANML parses an ANML document into a network.
+func ReadANML(r io.Reader) (*Network, error) { return anml.Read(r) }
+
+// WriteANML serializes a network as an ANML document.
+func WriteANML(w io.Writer, net *Network, name string) error {
+	return anml.Write(w, net, name)
+}
+
+// Match runs the network functionally over input and returns all reports —
+// the plain software-simulation path, independent of any AP model.
+func Match(net *Network, input []byte) []Report {
+	return sim.Run(net, input, sim.Options{CollectReports: true}).Reports
+}
+
+// CountHot returns how many states are ever enabled when net consumes
+// input — the paper's hot-state count (Figure 1).
+func CountHot(net *Network, input []byte) int {
+	return sim.HotStates(net, input).Count()
+}
+
+// Speedup returns baselineCycles / newCycles.
+func Speedup(baselineCycles, newCycles int64) float64 {
+	return metrics.Speedup(baselineCycles, newCycles)
+}
+
+// Engine bundles an AP configuration with the three execution systems of
+// the paper's Table III.
+type Engine struct {
+	AP  APConfig
+	CPU CPUModel
+}
+
+// NewEngine returns an engine for the given AP configuration with the
+// default CPU cost model.
+func NewEngine(cfg APConfig) *Engine {
+	return &Engine{AP: cfg, CPU: spap.DefaultCPUModel()}
+}
+
+// RunBaseline executes the baseline batched AP system: NFA-granularity
+// batches, each re-streaming the whole input.
+func (e *Engine) RunBaseline(net *Network, input []byte) (*BaselineResult, error) {
+	return ap.RunBaseline(net, input, e.AP)
+}
+
+// Partition profiles the network on profInput and builds the hot/cold
+// partition with the batch-filling optimization at the engine's capacity.
+func (e *Engine) Partition(net *Network, profInput []byte) (*Partition, error) {
+	return hotcold.BuildFromProfile(net, profInput, hotcold.Options{Capacity: e.AP.Capacity})
+}
+
+// RunBaseAPSpAP executes a partition under the BaseAP/SpAP system and
+// collects the final reports.
+func (e *Engine) RunBaseAPSpAP(p *Partition, input []byte) (*ExecResult, error) {
+	return spap.RunBaseAPSpAP(p, input, e.AP, spap.Options{CollectReports: true})
+}
+
+// RunAPCPU executes a partition under the AP–CPU system (mis-prediction
+// handling on a modeled CPU) and collects the final reports.
+func (e *Engine) RunAPCPU(p *Partition, input []byte) (*ExecResult, error) {
+	return spap.RunAPCPU(p, input, e.AP, e.CPU, spap.Options{CollectReports: true})
+}
+
+// Analyze returns summary statistics used across the paper's
+// characterization: state/NFA counts, the maximum topological order, and
+// the hot fraction under the given input.
+type Analysis struct {
+	States    int
+	NFAs      int
+	Reporting int
+	MaxTopo   int32
+	Hot       int
+	HotFrac   float64
+}
+
+// Analyze characterizes a network against an input (Figures 1 and 5).
+func Analyze(net *Network, input []byte) Analysis {
+	st := net.ComputeStats()
+	topo := graph.TopoOrder(net)
+	maxTopo := int32(0)
+	for _, m := range topo.MaxPerNFA {
+		if m > maxTopo {
+			maxTopo = m
+		}
+	}
+	hot := sim.HotStates(net, input).Count()
+	return Analysis{
+		States:    st.States,
+		NFAs:      st.NFAs,
+		Reporting: st.Reporting,
+		MaxTopo:   maxTopo,
+		Hot:       hot,
+		HotFrac:   float64(hot) / float64(st.States),
+	}
+}
