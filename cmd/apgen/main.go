@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 
 	"sparseap/internal/anml"
+	"sparseap/internal/lint"
 	"sparseap/internal/workloads"
 )
 
@@ -24,6 +25,9 @@ func main() {
 		divisor  = flag.Int("divisor", 8, "scale divisor")
 		inputLen = flag.Int("input", 131072, "input length")
 		seed     = flag.Int64("seed", 1, "generation seed")
+		noLint   = flag.Bool("nolint", false, "skip linting the emitted networks")
+		strict   = flag.Bool("strict", false, "fail (exit 1) when the linter reports findings instead of warning")
+		capacity = flag.Int("capacity", 3000, "half-core capacity for the lint capacity analyzer")
 	)
 	flag.Parse()
 	cfg := workloads.Config{Divisor: *divisor, InputLen: *inputLen, Seed: *seed}
@@ -45,6 +49,20 @@ func main() {
 		app, err := workloads.Build(name, cfg)
 		if err != nil {
 			fail(err)
+		}
+		// Lint every emitted network so downstream tools never ingest a
+		// suspect automaton: warn by default, fail under -strict.
+		if !*noLint {
+			res := lint.Run(app.Net, lint.Options{Capacity: *capacity})
+			if len(res.Diags) > 0 {
+				fmt.Fprintf(os.Stderr, "apgen: lint %s: %s\n", name, res.Summary())
+				for _, d := range res.Diags {
+					fmt.Fprintf(os.Stderr, "  %s\n", d)
+				}
+				if *strict {
+					fail(fmt.Errorf("apgen: %s has lint findings (rerun without -strict to emit anyway)", name))
+				}
+			}
 		}
 		anmlPath := filepath.Join(*outDir, name+".anml")
 		f, err := os.Create(anmlPath)

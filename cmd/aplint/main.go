@@ -1,0 +1,287 @@
+// Command aplint runs the static-analysis registry of internal/lint over
+// automata networks — generated suite applications, ANML files from
+// external tools, or compiled regexes — and reports structured diagnostics
+// with stable codes (AP001…).
+//
+//	aplint -all                        # lint the generated 26-app suite
+//	aplint -app Snort -partition 0.01  # one app, incl. partition analyzers
+//	aplint -anml rules.anml            # ANML produced by another toolchain
+//	aplint -regex 'err[0-9]{3}'        # compiled patterns (repeatable flag)
+//	aplint -list                       # catalogue every analyzer
+//
+// -enable/-disable filter by code or name, -json switches to machine
+// output. Exit status: 0 clean, 1 when any error-severity diagnostic was
+// reported (with -strict: any warning or error), 2 on usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sparseap/internal/anml"
+	"sparseap/internal/automata"
+	"sparseap/internal/hotcold"
+	"sparseap/internal/lint"
+	"sparseap/internal/regexc"
+	"sparseap/internal/workloads"
+)
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+// target is one network to lint.
+type target struct {
+	name  string
+	net   *automata.Network
+	input []byte // profiling stream for -partition, when available
+}
+
+// report is the per-target JSON payload.
+type report struct {
+	Name      string            `json:"name"`
+	States    int               `json:"states"`
+	NFAs      int               `json:"nfas"`
+	Diags     []lint.Diagnostic `json:"diagnostics"`
+	Skipped   []string          `json:"skipped,omitempty"`
+	Partition bool              `json:"partition,omitempty"`
+}
+
+func main() {
+	var (
+		appName   = flag.String("app", "", "built-in application abbreviation")
+		all       = flag.Bool("all", false, "lint every generated application")
+		anmlPath  = flag.String("anml", "", "ANML automaton file")
+		inPath    = flag.String("in", "", "input stream file (profiling source for -anml -partition)")
+		regexes   multiFlag
+		list      = flag.Bool("list", false, "list every registered analyzer and exit")
+		jsonOut   = flag.Bool("json", false, "emit diagnostics as JSON")
+		enable    = flag.String("enable", "", "comma-separated codes/names to run exclusively")
+		disable   = flag.String("disable", "", "comma-separated codes/names to skip")
+		capacity  = flag.Int("capacity", 3000, "AP half-core capacity for the capacity analyzer (0 disables)")
+		partition = flag.Float64("partition", 0, "also build a hot/cold partition profiling this input fraction and run the partition analyzers")
+		strict    = flag.Bool("strict", false, "exit non-zero on warnings, not only errors")
+		maxPer    = flag.Int("max", 20, "max diagnostics printed per code per target in text mode (0 = unlimited)")
+		divisor   = flag.Int("divisor", 8, "workload scale divisor (with -app/-all)")
+		inputLen  = flag.Int("input", 131072, "generated input length (with -app/-all)")
+		seed      = flag.Int64("seed", 1, "generation seed (with -app/-all)")
+	)
+	flag.Var(&regexes, "regex", "pattern to compile and lint (repeatable)")
+	flag.Parse()
+
+	if *list {
+		listAnalyzers()
+		return
+	}
+	opts := lint.Options{
+		Capacity: *capacity,
+		Enable:   splitCodes(*enable),
+		Disable:  splitCodes(*disable),
+	}
+	// A typo'd filter would otherwise silently lint nothing and report
+	// "clean"; reject anything that names no registered analyzer.
+	for _, c := range append(append([]string(nil), opts.Enable...), opts.Disable...) {
+		if !knownAnalyzer(c) {
+			fmt.Fprintf(os.Stderr, "aplint: unknown analyzer %q (see aplint -list)\n", c)
+			os.Exit(2)
+		}
+	}
+	targets, err := resolve(*appName, *all, *anmlPath, *inPath, regexes,
+		workloads.Config{Divisor: *divisor, InputLen: *inputLen, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aplint:", err)
+		os.Exit(2)
+	}
+
+	var reports []report
+	worst := lint.Info
+	haveDiags := false
+	for _, t := range targets {
+		rep := report{Name: t.name, States: t.net.Len(), NFAs: t.net.NumNFAs()}
+		res := lint.Run(t.net, opts)
+		rep.Diags = res.Diags
+		rep.Skipped = res.Skipped
+		if *partition > 0 {
+			pres, err := lintPartition(t, *partition, *capacity, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aplint: %s: partition: %v\n", t.name, err)
+				os.Exit(2)
+			}
+			rep.Partition = true
+			rep.Diags = append(rep.Diags, pres.Diags...)
+		}
+		for _, d := range rep.Diags {
+			haveDiags = true
+			if d.Severity > worst {
+				worst = d.Severity
+			}
+		}
+		reports = append(reports, rep)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, "aplint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, rep := range reports {
+			printText(rep, *maxPer)
+		}
+	}
+	if worst >= lint.Error || (*strict && haveDiags && worst >= lint.Warning) {
+		os.Exit(1)
+	}
+}
+
+// lintPartition profiles a fraction of the target's input, builds the
+// hot/cold partition, and runs the partition analyzers over it.
+func lintPartition(t target, frac float64, capacity int, opts lint.Options) (*lint.Result, error) {
+	if len(t.input) == 0 {
+		return nil, fmt.Errorf("no input stream to profile (use -in with -anml)")
+	}
+	n := int(frac * float64(len(t.input)))
+	if n < 1 {
+		n = 1
+	}
+	if n > len(t.input) {
+		n = len(t.input)
+	}
+	part, err := hotcold.BuildFromProfile(t.net, t.input[:n], hotcold.Options{Capacity: capacity})
+	if err != nil {
+		return nil, err
+	}
+	return lint.RunPartition(part.LintInfo(), opts), nil
+}
+
+// resolve builds the lint targets from the flag combination.
+func resolve(appName string, all bool, anmlPath, inPath string, regexes []string, cfg workloads.Config) ([]target, error) {
+	switch {
+	case all:
+		apps, err := workloads.BuildAll(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ts := make([]target, len(apps))
+		for i, a := range apps {
+			ts[i] = target{name: a.Abbr, net: a.Net, input: a.Input}
+		}
+		return ts, nil
+	case appName != "":
+		a, err := workloads.Build(appName, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []target{{name: a.Abbr, net: a.Net, input: a.Input}}, nil
+	case anmlPath != "":
+		f, err := os.Open(anmlPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		// Lax read: aplint's job is to report structural findings, so a
+		// broken network must reach the analyzers instead of failing I/O.
+		net, err := anml.ReadLax(f)
+		if err != nil {
+			return nil, err
+		}
+		t := target{name: anmlPath, net: net}
+		if inPath != "" {
+			if t.input, err = os.ReadFile(inPath); err != nil {
+				return nil, err
+			}
+		}
+		return []target{t}, nil
+	case len(regexes) > 0:
+		net, err := regexc.CompileAll(regexes, regexc.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return []target{{name: "regex", net: net}}, nil
+	}
+	return nil, fmt.Errorf("need -app, -all, -anml or -regex (try: aplint -all)")
+}
+
+// printText renders one target's findings in the line-oriented text format.
+func printText(rep report, maxPer int) {
+	fmt.Printf("== %s: %d states, %d NFAs ==\n", rep.Name, rep.States, rep.NFAs)
+	shown := make(map[string]int)
+	hidden := make(map[string]int)
+	var errs, warns, infos int
+	for _, d := range rep.Diags {
+		switch d.Severity {
+		case lint.Error:
+			errs++
+		case lint.Warning:
+			warns++
+		default:
+			infos++
+		}
+		if maxPer > 0 && shown[d.Code] >= maxPer {
+			hidden[d.Code]++
+			continue
+		}
+		shown[d.Code]++
+		fmt.Println("  " + d.String())
+	}
+	for _, a := range lint.All() {
+		if n := hidden[a.Code]; n > 0 {
+			fmt.Printf("  %s: … and %d more (rerun with -max 0 to see all)\n", a.Code, n)
+		}
+	}
+	if len(rep.Skipped) > 0 {
+		fmt.Printf("  skipped (network unsound): %s\n", strings.Join(rep.Skipped, ", "))
+	}
+	if len(rep.Diags) == 0 {
+		fmt.Println("  clean")
+	} else {
+		fmt.Printf("  %d errors, %d warnings, %d info\n", errs, warns, infos)
+	}
+}
+
+// listAnalyzers prints the analyzer catalogue.
+func listAnalyzers() {
+	for _, a := range lint.All() {
+		kind := "network"
+		if a.NeedsPartition {
+			kind = "partition"
+		}
+		fmt.Printf("%s %-16s %-9s %-9s %s\n", a.Code, a.Name, a.Default, kind, a.Doc)
+	}
+}
+
+// knownAnalyzer reports whether s names a registered analyzer by code or
+// short name.
+func knownAnalyzer(s string) bool {
+	if lint.Lookup(s) != nil {
+		return true
+	}
+	for _, a := range lint.All() {
+		if a.Name == s {
+			return true
+		}
+	}
+	return false
+}
+
+// splitCodes parses a comma-separated code list.
+func splitCodes(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"sparseap"
+	"sparseap/internal/lint"
 	"sparseap/internal/sim"
 	"sparseap/internal/workloads"
 )
@@ -35,6 +36,8 @@ func main() {
 		inputLen = flag.Int("input", 131072, "generated input length (with -app)")
 		seed     = flag.Int64("seed", 1, "generation seed (with -app)")
 		trace    = flag.String("trace", "", "write a per-cycle frontier-size CSV to this file")
+		noLint   = flag.Bool("nolint", false, "skip linting the ingested network")
+		strict   = flag.Bool("strict", false, "fail (exit 1) when the linter reports findings instead of warning")
 	)
 	flag.Parse()
 
@@ -42,6 +45,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	// Lint whatever we are about to execute — generated app or external
+	// ANML: warn by default, fail under -strict.
+	if !*noLint {
+		if res := lint.Run(net, lint.Options{Capacity: *capacity}); len(res.Diags) > 0 {
+			fmt.Fprintf(os.Stderr, "apsim: lint: %s (run aplint for details)\n", res.Summary())
+			if *strict {
+				os.Exit(1)
+			}
+		}
 	}
 	a := sparseap.Analyze(net, input)
 	fmt.Printf("application: %d states, %d NFAs, max topo %d, %d reporting states\n",

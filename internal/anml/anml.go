@@ -43,8 +43,25 @@ type xmlReport struct {
 }
 
 // Read parses an ANML document and returns the application network, with
-// the flat STE list split into weakly-connected NFAs.
+// the flat STE list split into weakly-connected NFAs. The network must be
+// structurally valid; use ReadLax to ingest suspect documents.
 func Read(r io.Reader) (*automata.Network, error) {
+	net, err := ReadLax(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("anml: %w", err)
+	}
+	return net, nil
+}
+
+// ReadLax parses an ANML document without validating the resulting
+// network. It still rejects malformed documents (bad XML, unknown symbol
+// sets or start kinds, dangling activate targets) but accepts structurally
+// broken networks — the ingestion path for cmd/aplint, whose job is to
+// report every finding rather than stop at the first.
+func ReadLax(r io.Reader) (*automata.Network, error) {
 	var doc xmlANML
 	dec := xml.NewDecoder(r)
 	if err := dec.Decode(&doc); err != nil {
@@ -89,11 +106,7 @@ func Read(r io.Reader) (*automata.Network, error) {
 	}
 	m.Dedup()
 	nfas := automata.SplitComponents(m)
-	net := automata.NewNetwork(nfas...)
-	if err := net.Validate(); err != nil {
-		return nil, fmt.Errorf("anml: %w", err)
-	}
-	return net, nil
+	return automata.NewNetwork(nfas...), nil
 }
 
 func parseStart(s string) (automata.StartKind, error) {

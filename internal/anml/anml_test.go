@@ -92,6 +92,27 @@ func TestReadErrors(t *testing.T) {
 	}
 }
 
+func TestReadLaxAcceptsInvalidNetworks(t *testing.T) {
+	// No start state: Read must reject, ReadLax must hand the broken
+	// network over (so the linter can report it with full context).
+	doc := `<anml><automata-network>` +
+		`<state-transition-element id="a" symbol-set="a"><report-on-match/></state-transition-element>` +
+		`</automata-network></anml>`
+	if _, err := Read(strings.NewReader(doc)); err == nil {
+		t.Errorf("Read accepted a network without start states")
+	}
+	net, err := ReadLax(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("ReadLax: %v", err)
+	}
+	if net.Len() != 1 {
+		t.Fatalf("ReadLax returned %d states, want 1", net.Len())
+	}
+	if net.Validate() == nil {
+		t.Errorf("the lax-read network should still fail Validate")
+	}
+}
+
 func TestWriteReadRoundTrip(t *testing.T) {
 	m := automata.NewNFA()
 	a := m.Add(symset.Range('a', 'c'), automata.StartAllInput, false)

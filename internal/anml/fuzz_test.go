@@ -1,0 +1,49 @@
+package anml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseANML feeds arbitrary documents to the ANML reader. The reader
+// must never panic, and any network it accepts must be structurally sound
+// and survive a write/re-read round trip.
+func FuzzParseANML(f *testing.F) {
+	f.Add(`<anml version="1.0"><automata-network id="n">` +
+		`<state-transition-element id="a" symbol-set="[ab]" start="all-input">` +
+		`<activate-on-match element="b"/></state-transition-element>` +
+		`<state-transition-element id="b" symbol-set="\x41"><report-on-match/>` +
+		`</state-transition-element></automata-network></anml>`)
+	f.Add(`<anml><automata-network>` +
+		`<state-transition-element id="s" symbol-set="[^\x00-\x1f]" start="start-of-data">` +
+		`<activate-on-match element="s"/><report-on-match reportcode="7"/>` +
+		`</state-transition-element></automata-network></anml>`)
+	f.Add(`<anml><automata-network/></anml>`)
+	f.Add(`<anml><automata-network>` +
+		`<state-transition-element id="x" symbol-set="[a-"/></automata-network></anml>`)
+	f.Add(`<anml><automata-network>` +
+		`<state-transition-element id="x" symbol-set="*" start="bogus"/></automata-network></anml>`)
+	f.Add(`not xml at all`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, doc string) {
+		net, err := Read(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if verr := net.Validate(); verr != nil {
+			t.Fatalf("Read accepted a structurally broken network: %v", verr)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, net, "fuzz"); err != nil {
+			t.Fatalf("Write of an accepted network failed: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written ANML failed: %v\n%s", err, buf.String())
+		}
+		if again.Len() != net.Len() {
+			t.Fatalf("round trip changed state count: %d -> %d", net.Len(), again.Len())
+		}
+	})
+}

@@ -115,11 +115,59 @@ func (m *NFA) Dedup() {
 	}
 }
 
-// Validate checks structural invariants: successor IDs in range, at least
-// one start state, and no empty symbol set on a reachable state.
-func (m *NFA) Validate() error {
+// ProblemKind classifies a structural finding of StructuralProblems.
+type ProblemKind uint8
+
+const (
+	// ProblemEmpty flags an empty NFA or network.
+	ProblemEmpty ProblemKind = iota
+	// ProblemOffsets flags inconsistent Offsets/NFAOf bookkeeping.
+	ProblemOffsets
+	// ProblemSuccRange flags a successor ID outside the state range.
+	ProblemSuccRange
+	// ProblemCrossNFA flags an edge crossing NFA boundaries.
+	ProblemCrossNFA
+	// ProblemNoStart flags an NFA without any start state.
+	ProblemNoStart
+)
+
+// Problem is one structural finding. It is the shared core behind
+// NFA.Validate, Network.Validate and the internal/lint structure analyzers:
+// the checks run once here, and both consumers format the results.
+type Problem struct {
+	Kind ProblemKind
+	// NFA is the owning NFA index (-1 for container-level findings or
+	// standalone NFAs).
+	NFA int
+	// State is the offending state (global for a Network, local for an
+	// NFA); None for NFA- or container-level findings.
+	State StateID
+	// Msg is the human-readable description, including NFA/state context.
+	Msg string
+}
+
+// describe names a state with its NFA index and optional name for messages.
+func describe(nfa int, s StateID, name string) string {
+	loc := fmt.Sprintf("state %d", s)
+	if nfa >= 0 {
+		loc += fmt.Sprintf(" (nfa %d", nfa)
+		if name != "" {
+			loc += fmt.Sprintf(" %q", name)
+		}
+		loc += ")"
+	} else if name != "" {
+		loc += fmt.Sprintf(" (%q)", name)
+	}
+	return loc
+}
+
+// StructuralProblems returns every structural invariant violation of the
+// NFA: emptiness, out-of-range successors, and a missing start state.
+// Unlike Validate it does not stop at the first finding.
+func (m *NFA) StructuralProblems() []Problem {
+	var out []Problem
 	if m.Len() == 0 {
-		return fmt.Errorf("automata: empty NFA")
+		return []Problem{{Kind: ProblemEmpty, NFA: -1, State: None, Msg: "empty NFA"}}
 	}
 	starts := 0
 	for i, s := range m.States {
@@ -128,14 +176,37 @@ func (m *NFA) Validate() error {
 		}
 		for _, v := range s.Succ {
 			if v < 0 || int(v) >= m.Len() {
-				return fmt.Errorf("automata: state %d has out-of-range successor %d", i, v)
+				out = append(out, Problem{
+					Kind: ProblemSuccRange, NFA: -1, State: StateID(i),
+					Msg: fmt.Sprintf("%s has out-of-range successor %d (valid range [0,%d))",
+						describe(-1, StateID(i), s.Name), v, m.Len()),
+				})
 			}
 		}
 	}
 	if starts == 0 {
-		return fmt.Errorf("automata: NFA has no start state")
+		out = append(out, Problem{Kind: ProblemNoStart, NFA: -1, State: None,
+			Msg: "NFA has no start state"})
 	}
-	return nil
+	return out
+}
+
+// problemsToError collapses a problem list into a single error, or nil.
+func problemsToError(problems []Problem) error {
+	switch len(problems) {
+	case 0:
+		return nil
+	case 1:
+		return fmt.Errorf("automata: %s", problems[0].Msg)
+	}
+	return fmt.Errorf("automata: %s (and %d more structural problems)",
+		problems[0].Msg, len(problems)-1)
+}
+
+// Validate checks structural invariants: successor IDs in range and at
+// least one start state. It is a thin wrapper over StructuralProblems.
+func (m *NFA) Validate() error {
+	return problemsToError(m.StructuralProblems())
 }
 
 // Network is an application: a set of NFAs flattened into one global state
@@ -243,36 +314,66 @@ func (n *Network) Preds() [][]StateID {
 // InvalidateCaches drops derived data (predecessors) after a mutation.
 func (n *Network) InvalidateCaches() { n.preds = nil }
 
-// Validate checks the network invariants: consistent offsets, successor IDs
-// within the same NFA, and each NFA has a start state.
-func (n *Network) Validate() error {
+// StructuralProblems returns every structural invariant violation of the
+// network: emptiness, inconsistent Offsets/NFAOf bookkeeping, out-of-range
+// or NFA-crossing successors, and NFAs without a start state. Unlike
+// Validate it does not stop at the first finding; internal/lint's structure
+// analyzers are thin wrappers over it.
+func (n *Network) StructuralProblems() []Problem {
+	var out []Problem
 	if n.NumNFAs() == 0 {
-		return fmt.Errorf("automata: empty network")
+		return []Problem{{Kind: ProblemEmpty, NFA: -1, State: None, Msg: "empty network"}}
 	}
-	if n.Offsets[len(n.Offsets)-1] != StateID(n.Len()) {
-		return fmt.Errorf("automata: offsets end %d != len %d", n.Offsets[len(n.Offsets)-1], n.Len())
+	if end := n.Offsets[len(n.Offsets)-1]; end != StateID(n.Len()) {
+		out = append(out, Problem{Kind: ProblemOffsets, NFA: -1, State: None,
+			Msg: fmt.Sprintf("offsets end %d != %d states", end, n.Len())})
+	}
+	if len(n.NFAOf) != n.Len() {
+		out = append(out, Problem{Kind: ProblemOffsets, NFA: -1, State: None,
+			Msg: fmt.Sprintf("NFAOf has %d entries for %d states", len(n.NFAOf), n.Len())})
+		return out // per-state checks below index NFAOf
 	}
 	startsPerNFA := make([]int, n.NumNFAs())
 	for u := range n.States {
-		nfa := n.NFAOf[u]
+		nfa := int(n.NFAOf[u])
+		if nfa < 0 || nfa >= n.NumNFAs() {
+			out = append(out, Problem{Kind: ProblemOffsets, NFA: -1, State: StateID(u),
+				Msg: fmt.Sprintf("state %d claims NFA %d of %d", u, nfa, n.NumNFAs())})
+			continue
+		}
 		if n.States[u].Start != StartNone {
 			startsPerNFA[nfa]++
 		}
+		loc := describe(nfa, StateID(u), n.States[u].Name)
 		for _, v := range n.States[u].Succ {
 			if v < 0 || int(v) >= n.Len() {
-				return fmt.Errorf("automata: state %d has out-of-range successor %d", u, v)
+				out = append(out, Problem{Kind: ProblemSuccRange, NFA: nfa, State: StateID(u),
+					Msg: fmt.Sprintf("%s has out-of-range successor %d (valid range [0,%d))",
+						loc, v, n.Len())})
+				continue
 			}
-			if n.NFAOf[v] != nfa {
-				return fmt.Errorf("automata: edge %d->%d crosses NFAs %d->%d", u, v, nfa, n.NFAOf[v])
+			if int(n.NFAOf[v]) != nfa {
+				out = append(out, Problem{Kind: ProblemCrossNFA, NFA: nfa, State: StateID(u),
+					Msg: fmt.Sprintf("edge %d->%d crosses NFA boundary %d->%d",
+						u, v, nfa, n.NFAOf[v])})
 			}
 		}
 	}
 	for i, c := range startsPerNFA {
 		if c == 0 {
-			return fmt.Errorf("automata: NFA %d has no start state", i)
+			lo, hi := n.NFAStates(i)
+			out = append(out, Problem{Kind: ProblemNoStart, NFA: i, State: None,
+				Msg: fmt.Sprintf("NFA %d (states %d..%d) has no start state", i, lo, hi-1)})
 		}
 	}
-	return nil
+	return out
+}
+
+// Validate checks the network invariants: consistent offsets, successor IDs
+// within the same NFA, and each NFA has a start state. It is a thin wrapper
+// over StructuralProblems.
+func (n *Network) Validate() error {
+	return problemsToError(n.StructuralProblems())
 }
 
 // Stats summarizes a network for Table II-style reporting.

@@ -1,100 +1,39 @@
 package hotcold
 
 import (
-	"fmt"
-
-	"sparseap/internal/automata"
+	"sparseap/internal/lint"
 )
 
+// LintInfo exposes the partition to internal/lint's partition analyzers
+// (AP011–AP015). lint cannot import this package (it would cycle through
+// the analyzers), so the partition hands over a field-by-field view.
+func (p *Partition) LintInfo() *lint.PartitionInfo {
+	return &lint.PartitionInfo{
+		Net:          p.Net,
+		Topo:         p.Topo,
+		PredHot:      p.PredHot,
+		Hot:          p.Hot,
+		HotOrig:      p.HotOrig,
+		Intermediate: p.Intermediate,
+		Cold:         p.Cold,
+		ColdOrig:     p.ColdOrig,
+		ColdID:       p.ColdID,
+	}
+}
+
 // CheckInvariants verifies the structural guarantees of Section IV-C that
-// the executor relies on. It is used by tests and by callers that build
-// partitions from untrusted layer choices.
+// the executor relies on. It is a thin wrapper over the lint partition
+// analyzers; run lint.RunPartition(p.LintInfo(), …) directly for the full
+// diagnostic list instead of a first-error summary. The invariants:
 //
 //  1. Unidirectional cut: no original edge runs from a predicted-cold state
-//     to a predicted-hot state.
-//  2. SCC atomicity: states of one SCC land on the same side.
-//  3. Fragment maps are mutually consistent bijections.
-//  4. Every start state is predicted hot (the cold network is never
-//     self-enabled, which the SpAP jump operation requires).
-//  5. Intermediate reporting states match their target's symbol set, are
-//     reporting, and have no successors.
+//     to a predicted-hot state (AP011).
+//  2. SCC atomicity: states of one SCC land on the same side (AP012).
+//  3. Every start state is predicted hot and the cold network is never
+//     self-enabled, which the SpAP jump operation requires (AP013).
+//  4. Intermediate reporting states match their target's symbol set, are
+//     reporting, and have no successors (AP014).
+//  5. Fragment maps are mutually consistent bijections (AP015).
 func (p *Partition) CheckInvariants() error {
-	net := p.Net
-	for u := 0; u < net.Len(); u++ {
-		uHot := p.PredHot.Get(u)
-		if st := net.States[u].Start; st != automata.StartNone && !uHot {
-			return fmt.Errorf("hotcold: start state %d predicted cold", u)
-		}
-		for _, v := range net.States[u].Succ {
-			if !uHot && p.PredHot.Get(int(v)) {
-				return fmt.Errorf("hotcold: cold->hot edge %d->%d", u, v)
-			}
-		}
-	}
-	scc := p.Topo.SCC
-	side := make(map[int32]bool)
-	seen := make(map[int32]bool)
-	for s := 0; s < net.Len(); s++ {
-		c := scc.Comp[s]
-		if !seen[c] {
-			seen[c] = true
-			side[c] = p.PredHot.Get(s)
-		} else if side[c] != p.PredHot.Get(s) {
-			return fmt.Errorf("hotcold: SCC %d split across the partition", c)
-		}
-	}
-	// Fragment map consistency.
-	if len(p.HotOrig) != p.Hot.Len() || len(p.ColdOrig) != p.Cold.Len() {
-		return fmt.Errorf("hotcold: fragment map lengths inconsistent")
-	}
-	hotCount := 0
-	for h, g := range p.HotOrig {
-		if g == automata.None {
-			if _, ok := p.Intermediate[automata.StateID(h)]; !ok {
-				return fmt.Errorf("hotcold: hot state %d has no origin and no translation", h)
-			}
-			continue
-		}
-		hotCount++
-		if !p.PredHot.Get(int(g)) {
-			return fmt.Errorf("hotcold: hot fragment contains cold original %d", g)
-		}
-	}
-	if hotCount != p.PredHot.Count() {
-		return fmt.Errorf("hotcold: hot fragment has %d originals, predicted hot %d", hotCount, p.PredHot.Count())
-	}
-	for c, g := range p.ColdOrig {
-		if p.PredHot.Get(int(g)) {
-			return fmt.Errorf("hotcold: cold fragment contains hot original %d", g)
-		}
-		if p.ColdID[g] != automata.StateID(c) {
-			return fmt.Errorf("hotcold: ColdID inverse broken at %d", g)
-		}
-	}
-	// Intermediate states.
-	for iv, target := range p.Intermediate {
-		st := p.Hot.States[iv]
-		if !st.Report {
-			return fmt.Errorf("hotcold: intermediate %d not reporting", iv)
-		}
-		if len(st.Succ) != 0 {
-			return fmt.Errorf("hotcold: intermediate %d has successors", iv)
-		}
-		if !st.Match.Equal(net.States[target].Match) {
-			return fmt.Errorf("hotcold: intermediate %d symbol set differs from target %d", iv, target)
-		}
-		if p.PredHot.Get(int(target)) {
-			return fmt.Errorf("hotcold: intermediate %d targets hot state %d", iv, target)
-		}
-		if p.ColdID[target] == automata.None {
-			return fmt.Errorf("hotcold: intermediate target %d missing from cold fragment", target)
-		}
-	}
-	// Cold network must have no self-enabled states.
-	for s := range p.Cold.States {
-		if p.Cold.States[s].Start != automata.StartNone {
-			return fmt.Errorf("hotcold: cold network state %d is a start state", s)
-		}
-	}
-	return nil
+	return lint.RunPartition(p.LintInfo(), lint.Options{}).Err()
 }

@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// chainNFA builds a linear NFA matching the given symbols: all-input start
+// on the first state, report on the last.
+func chainNFA(symbols string) *automata.NFA {
+	m := automata.NewNFA()
+	for i := 0; i < len(symbols); i++ {
+		kind := automata.StartNone
+		if i == 0 {
+			kind = automata.StartAllInput
+		}
+		m.Add(symset.Single(symbols[i]), kind, i == len(symbols)-1)
+	}
+	for i := 0; i+1 < len(symbols); i++ {
+		m.Connect(automata.StateID(i), automata.StateID(i+1))
+	}
+	return m
+}
+
+// codes returns the distinct diagnostic codes of a result.
+func codes(r *Result) map[string]int { return r.Counts() }
+
+// wantCode asserts at least one diagnostic with the code exists.
+func wantCode(t *testing.T, r *Result, code string) {
+	t.Helper()
+	if codes(r)[code] == 0 {
+		t.Errorf("expected a %s diagnostic, got %v", code, r.Diags)
+	}
+}
+
+// wantNoCode asserts no diagnostic with the code exists.
+func wantNoCode(t *testing.T, r *Result, code string) {
+	t.Helper()
+	if n := codes(r)[code]; n > 0 {
+		t.Errorf("expected no %s diagnostics, got %d: %v", code, n, r.Diags)
+	}
+}
+
+func TestCleanChainHasNoFindings(t *testing.T) {
+	net := automata.NewNetwork(chainNFA("abc"), chainNFA("xy"))
+	res := Run(net, Options{Capacity: 100})
+	if len(res.Diags) != 0 {
+		t.Fatalf("clean network produced diagnostics: %v", res.Diags)
+	}
+	if len(res.Skipped) != 0 {
+		t.Fatalf("clean network skipped analyzers: %v", res.Skipped)
+	}
+}
+
+func TestAP001OutOfRangeSuccessor(t *testing.T) {
+	net := automata.NewNetwork(chainNFA("ab"))
+	net.States[0].Succ = append(net.States[0].Succ, 99)
+	res := Run(net, Options{})
+	wantCode(t, res, "AP001")
+	// Edge-traversing analyzers must be skipped, not crash.
+	if len(res.Skipped) == 0 {
+		t.Errorf("expected NeedsSound analyzers to be skipped on an unsound network")
+	}
+	if res.Err() == nil {
+		t.Errorf("Err() should be non-nil with an AP001 error present")
+	}
+}
+
+func TestAP001CrossNFAEdge(t *testing.T) {
+	net := automata.NewNetwork(chainNFA("ab"), chainNFA("cd"))
+	net.States[1].Succ = append(net.States[1].Succ, 2) // NFA 0 -> NFA 1
+	res := Run(net, Options{})
+	wantCode(t, res, "AP001")
+}
+
+func TestAP001BrokenOffsets(t *testing.T) {
+	net := automata.NewNetwork(chainNFA("ab"))
+	net.Offsets[len(net.Offsets)-1] = 7
+	res := Run(net, Options{})
+	wantCode(t, res, "AP001")
+}
+
+func TestAP002NoStartState(t *testing.T) {
+	m := automata.NewNFA()
+	m.Add(symset.Single('a'), automata.StartNone, true)
+	net := automata.NewNetwork(m)
+	res := Run(net, Options{})
+	wantCode(t, res, "AP002")
+}
+
+func TestAP003EmptySymbolSet(t *testing.T) {
+	m := chainNFA("ab")
+	m.States[1].Match = symset.Empty()
+	net := automata.NewNetwork(m)
+	res := Run(net, Options{})
+	wantCode(t, res, "AP003")
+}
+
+func TestAP004DuplicateEdge(t *testing.T) {
+	m := chainNFA("ab")
+	m.Connect(0, 1) // second copy of 0->1
+	net := automata.NewNetwork(m)
+	res := Run(net, Options{})
+	wantCode(t, res, "AP004")
+	if n := codes(res)["AP004"]; n != 1 {
+		t.Errorf("duplicate target should be reported once, got %d", n)
+	}
+}
+
+func TestAP005Unreachable(t *testing.T) {
+	m := chainNFA("ab")
+	// A floating state with no predecessors and no start marking.
+	orphan := m.Add(symset.Single('z'), automata.StartNone, false)
+	m.Connect(orphan, 1) // give it an outgoing edge so only AP005 fires on it
+	net := automata.NewNetwork(m)
+	res := Run(net, Options{})
+	wantCode(t, res, "AP005")
+}
+
+func TestAP006DeadEnd(t *testing.T) {
+	m := chainNFA("ab")
+	sink := m.Add(symset.Single('z'), automata.StartNone, false)
+	m.Connect(0, sink) // reachable, but reports nothing and leads nowhere
+	net := automata.NewNetwork(m)
+	res := Run(net, Options{})
+	wantCode(t, res, "AP006")
+	wantNoCode(t, res, "AP005")
+}
+
+func TestAP007StartWithoutReport(t *testing.T) {
+	m := automata.NewNFA()
+	a := m.Add(symset.Single('a'), automata.StartAllInput, false)
+	b := m.Add(symset.Single('b'), automata.StartNone, false)
+	m.Connect(a, b)
+	net := automata.NewNetwork(m)
+	res := Run(net, Options{})
+	wantCode(t, res, "AP007")
+}
+
+func TestAP008MixedStartKinds(t *testing.T) {
+	m := automata.NewNFA()
+	a := m.Add(symset.Single('a'), automata.StartAllInput, false)
+	b := m.Add(symset.Single('b'), automata.StartOfData, false)
+	r := m.Add(symset.Single('c'), automata.StartNone, true)
+	m.Connect(a, r)
+	m.Connect(b, r)
+	net := automata.NewNetwork(m)
+	res := Run(net, Options{})
+	wantCode(t, res, "AP008")
+}
+
+func TestAP008InvalidStartKind(t *testing.T) {
+	m := chainNFA("ab")
+	m.States[0].Start = automata.StartKind(9)
+	net := automata.NewNetwork(m)
+	res := Run(net, Options{})
+	wantCode(t, res, "AP008")
+	found := false
+	for _, d := range res.Diags {
+		if d.Code == "AP008" && d.Severity == Error {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("invalid start kind should be error severity: %v", res.Diags)
+	}
+}
+
+func TestAP009CapacityExceeded(t *testing.T) {
+	net := automata.NewNetwork(chainNFA("abcdef"))
+	res := Run(net, Options{Capacity: 3})
+	wantCode(t, res, "AP009")
+	// Disabled when capacity is zero.
+	res = Run(net, Options{})
+	wantNoCode(t, res, "AP009")
+}
+
+func TestAP010RedundantStates(t *testing.T) {
+	m := automata.NewNFA()
+	a := m.Add(symset.Single('a'), automata.StartAllInput, false)
+	b1 := m.Add(symset.Single('b'), automata.StartNone, false)
+	b2 := m.Add(symset.Single('b'), automata.StartNone, false) // twin of b1
+	r := m.Add(symset.Single('c'), automata.StartNone, true)
+	m.Connect(a, b1)
+	m.Connect(a, b2)
+	m.Connect(b1, r)
+	m.Connect(b2, r)
+	net := automata.NewNetwork(m)
+	res := Run(net, Options{})
+	wantCode(t, res, "AP010")
+	if n := codes(res)["AP010"]; n != 1 {
+		t.Errorf("a twin pair should yield exactly one finding, got %d", n)
+	}
+}
+
+func TestAP010NeverMergesReportingStates(t *testing.T) {
+	m := automata.NewNFA()
+	a := m.Add(symset.Single('a'), automata.StartAllInput, false)
+	r1 := m.Add(symset.Single('b'), automata.StartNone, true)
+	r2 := m.Add(symset.Single('b'), automata.StartNone, true)
+	m.Connect(a, r1)
+	m.Connect(a, r2)
+	net := automata.NewNetwork(m)
+	res := Run(net, Options{})
+	wantNoCode(t, res, "AP010")
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Code: "AP005", Severity: Warning, NFA: 3, State: 17,
+		Name: "foo", Msg: "unreachable", Fix: "prune it"}
+	got := d.String()
+	for _, want := range []string{"AP005", "warning", "nfa 3", "state 17", `"foo"`, "unreachable", "fix: prune it"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+}

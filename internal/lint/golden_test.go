@@ -1,0 +1,212 @@
+// Golden-diagnostic test: lints every generated workload application and
+// the networks of the four example programs, and compares the per-target
+// per-code finding counts against testdata/golden.txt. A change in any
+// generator, the regex compiler, or an analyzer that shifts what the suite
+// reports shows up here as a reviewable diff.
+//
+// Regenerate with: go test ./internal/lint -run TestGolden -update
+//
+// External test package: lint_test -> workloads -> lint would otherwise be
+// an import cycle.
+package lint_test
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"sparseap"
+	"sparseap/internal/automata"
+	"sparseap/internal/lint"
+	"sparseap/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden.txt with current findings")
+
+// goldenCapacity is the half-core capacity the golden run lints against —
+// the paper's 3K-STE half-core (ap.DefaultConfig).
+const goldenCapacity = 3000
+
+// goldenTargets builds every network the golden file covers, in a fixed
+// order: the 26 suite applications, then the example networks.
+func goldenTargets(t *testing.T) []struct {
+	name string
+	net  *automata.Network
+} {
+	t.Helper()
+	var out []struct {
+		name string
+		net  *automata.Network
+	}
+	add := func(name string, net *automata.Network) {
+		out = append(out, struct {
+			name string
+			net  *automata.Network
+		}{name, net})
+	}
+	cfg := workloads.Config{Divisor: 8, InputLen: 1024, Seed: 1}
+	for _, name := range workloads.Names() {
+		app, err := workloads.Build(name, cfg)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		add(app.Abbr, app.Net)
+	}
+	add("example/quickstart", quickstartNet(t))
+	add("example/virusscan", virusscanNet(t))
+	add("example/netids", netidsNet(t))
+	add("example/motif", motifNet())
+	return out
+}
+
+// quickstartNet mirrors examples/quickstart.
+func quickstartNet(t *testing.T) *automata.Network {
+	net, err := sparseap.CompileRegex([]string{
+		"error [0-9]{3}",
+		"timeout after [0-9]+ms",
+		"panic: .{1,20}overflow",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// virusscanNet mirrors the signature database of examples/virusscan
+// (seed 42, 400 hex signatures with occasional .* gaps).
+func virusscanNet(t *testing.T) *automata.Network {
+	r := rand.New(rand.NewSource(42))
+	signature := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			if i > 0 && i%64 == 0 && r.Intn(4) == 0 {
+				b.WriteString(".*")
+			}
+			fmt.Fprintf(&b, "\\x%02x", 0x80+r.Intn(0x80))
+		}
+		return b.String()
+	}
+	sigs := make([]string, 400)
+	for i := range sigs {
+		sigs[i] = signature(60 + r.Intn(140))
+	}
+	net, err := sparseap.CompileRegex(sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// netidsNet mirrors the rule set of examples/netids (seed 7, 300 rules).
+func netidsNet(t *testing.T) *automata.Network {
+	methods := []string{"GET ", "POST", "PUT ", "HEAD"}
+	r := rand.New(rand.NewSource(7))
+	rule := func() string {
+		var b strings.Builder
+		b.WriteString(strings.ReplaceAll(methods[r.Intn(len(methods))], " ", "\\x20"))
+		b.WriteString("[a-z/]{4,12}")
+		for i := 0; i < 4+r.Intn(8); i++ {
+			b.WriteByte(byte('a' + r.Intn(26)))
+		}
+		return b.String()
+	}
+	rules := make([]string, 300)
+	for i := range rules {
+		rules[i] = rule()
+	}
+	net, err := sparseap.CompileRegex(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// motifNet mirrors the motif database of examples/motif (seed 11, 60
+// Hamming automata of length 20 at distance 2).
+func motifNet() *automata.Network {
+	r := rand.New(rand.NewSource(11))
+	bases := []byte("ACGT")
+	nfas := make([]*sparseap.NFA, 60)
+	for i := range nfas {
+		m := make([]byte, 20)
+		for k := range m {
+			m[k] = bases[r.Intn(4)]
+		}
+		nfas[i] = sparseap.HammingNFA(m, 2)
+	}
+	return sparseap.NewNetwork(nfas...)
+}
+
+// renderLine formats one golden line: "NAME clean" or "NAME AP005=6 …".
+func renderLine(name string, counts map[string]int) string {
+	if len(counts) == 0 {
+		return name + " clean"
+	}
+	codes := make([]string, 0, len(counts))
+	for c := range counts {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	parts := []string{name}
+	for _, c := range codes {
+		parts = append(parts, fmt.Sprintf("%s=%d", c, counts[c]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestGoldenDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run builds the full suite")
+	}
+	var lines []string
+	for _, tgt := range goldenTargets(t) {
+		res := lint.Run(tgt.net, lint.Options{Capacity: goldenCapacity})
+		if len(res.Skipped) > 0 {
+			t.Errorf("%s: analyzers skipped (structurally unsound network): %v", tgt.name, res.Skipped)
+		}
+		if err := res.Err(); err != nil {
+			t.Errorf("%s: error-severity findings: %v", tgt.name, err)
+		}
+		lines = append(lines, renderLine(tgt.name, res.Counts()))
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	path := filepath.Join("testdata", "golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	wantB, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update): %v", err)
+	}
+	want := string(wantB)
+	if got == want {
+		return
+	}
+	// Line-oriented diff so a generator change reads as one clear line.
+	gotL, wantL := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gotL) || i < len(wantL); i++ {
+		var g, w string
+		if i < len(gotL) {
+			g = gotL[i]
+		}
+		if i < len(wantL) {
+			w = wantL[i]
+		}
+		if g != w {
+			t.Errorf("golden mismatch:\n  got  %q\n  want %q", g, w)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package regexc
+
+import (
+	"testing"
+
+	"sparseap/internal/automata"
+)
+
+// FuzzCompileRegex feeds arbitrary patterns to the compiler. Compilation
+// must never panic, and any NFA it accepts must be structurally sound with
+// no empty symbol sets (an empty set can never match and indicates a lost
+// character-class constraint).
+func FuzzCompileRegex(f *testing.F) {
+	for _, seed := range []string{
+		"abc",
+		"error [0-9]{3}",
+		"^GET /[a-z/]{4,12}",
+		"a|bc|d*e+f?",
+		"\\x00\\xff[^\\x80-\\x8f]",
+		"(ab(cd|ef)+)*gh",
+		".{1,20}overflow",
+		"[a-",       // unterminated class
+		"a{5,2}",    // inverted bound
+		"a{,}",      // malformed repeat
+		"(",         // unbalanced group
+		"a**",       // double repeat
+		"\\",        // trailing escape
+		"[]a",       // empty class
+		"a{100000}", // over the fuzz budget
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, pattern string) {
+		// A small state cap keeps bounded-repetition expansion from
+		// dominating the fuzz budget; real callers use DefaultMaxStates.
+		m, err := Compile(pattern, Options{MaxStates: 1 << 12})
+		if err != nil {
+			return
+		}
+		net := automata.NewNetwork(m)
+		if verr := net.Validate(); verr != nil {
+			t.Fatalf("Compile(%q) produced a broken network: %v", pattern, verr)
+		}
+		for s, st := range net.States {
+			if st.Match.IsEmpty() {
+				t.Fatalf("Compile(%q): state %d has an empty symbol set", pattern, s)
+			}
+		}
+	})
+}

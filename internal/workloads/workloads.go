@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"sparseap/internal/automata"
+	"sparseap/internal/lint"
 )
 
 // Group is the resource-requirement class of Section VI-A.
@@ -151,8 +152,11 @@ func Build(abbr string, cfg Config) (*App, error) {
 	}
 	r := rand.New(rand.NewSource(seed))
 	app := b(cfg, r)
-	if err := app.Net.Validate(); err != nil {
-		return nil, fmt.Errorf("workloads: %s: generated invalid network: %w", abbr, err)
+	// Every generated network passes through the linter's error-severity
+	// analyzers (structure, start states, symbol sets); a finding is a
+	// generator bug. Warning/info analyzers are left to cmd/aplint.
+	if res := lint.Run(app.Net, lint.Options{MinSeverity: lint.Error}); res.Err() != nil {
+		return nil, fmt.Errorf("workloads: %s: generated invalid network: %w", abbr, res.Err())
 	}
 	return app, nil
 }

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1.5 gate: everything CI runs, runnable locally before a push.
+#
+#   scripts/check.sh           # full gate
+#   scripts/check.sh -short    # skip the race pass (quick pre-commit loop)
+#
+# Steps: gofmt, go vet, build, full test suite, race-detector pass over the
+# packages with real concurrency (the simulators), and the aplint sweep of
+# the generated workload suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+short=0
+[[ "${1:-}" == "-short" ]] && short=1
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+if [[ $short -eq 0 ]]; then
+    echo "== go test -race (simulators) =="
+    go test -race ./internal/sim ./internal/spap
+fi
+
+# Error-severity findings fail the gate; the suite's known warnings (see
+# internal/lint/testdata/golden.txt) do not, and the golden test pins them.
+echo "== aplint =="
+go run ./cmd/aplint -all
+
+echo "check.sh: all green"
