@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	apbench [-exp all|table2,fig1,fig5,table1,fig8,fig10,fig11,fig12,table4,fig13,ablation] \
+//	apbench [-exp all|table2,fig1,fig5,table1,fig8,fig10,fig11,fig12,table4,fig13,ablation,sensitivity,resilience] \
 //	        [-divisor 8] [-input 131072] [-capacity 3000] [-seed 1]
 //
 // The defaults run the 1/8-scaled configuration described in DESIGN.md:
@@ -45,6 +45,7 @@ func experiments() []experiment {
 		{"fig13", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Fig13(s) }},
 		{"ablation", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Ablation(s) }},
 		{"sensitivity", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Sensitivity(s) }},
+		{"resilience", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Resilience(s) }},
 	}
 }
 

@@ -9,10 +9,20 @@
 //
 // Flags select the system (-system ap|apcpu|spap|all), the profiling
 // fraction (-profile 0.01) and the half-core capacity (-capacity 3000).
+//
+// Resilience flags: -timeout bounds the wall-clock of each execution
+// (partial statistics are printed on expiry); -guard runs the BaseAP/SpAP
+// system under the adaptive watchdog; -fault injects deterministic faults
+// ("stuckoff=0.01,drop=0.05" syntax, seeded by -faultseed); -repair remaps
+// injected stuck faults onto spare STEs (-spares per block, 0 = minimum)
+// and fails if the repaired run's reports diverge from the fault-free
+// network's.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -26,18 +36,24 @@ import (
 
 func main() {
 	var (
-		appName  = flag.String("app", "", "built-in application abbreviation (see apstat -list)")
-		anmlPath = flag.String("anml", "", "ANML automaton file")
-		inPath   = flag.String("in", "", "input stream file (with -anml)")
-		system   = flag.String("system", "all", "execution system: ap, apcpu, spap, or all")
-		profile  = flag.Float64("profile", 0.01, "profiling input fraction")
-		capacity = flag.Int("capacity", 3000, "AP half-core capacity in STEs")
-		divisor  = flag.Int("divisor", 8, "workload scale divisor (with -app)")
-		inputLen = flag.Int("input", 131072, "generated input length (with -app)")
-		seed     = flag.Int64("seed", 1, "generation seed (with -app)")
-		trace    = flag.String("trace", "", "write a per-cycle frontier-size CSV to this file")
-		noLint   = flag.Bool("nolint", false, "skip linting the ingested network")
-		strict   = flag.Bool("strict", false, "fail (exit 1) when the linter reports findings instead of warning")
+		appName   = flag.String("app", "", "built-in application abbreviation (see apstat -list)")
+		anmlPath  = flag.String("anml", "", "ANML automaton file")
+		inPath    = flag.String("in", "", "input stream file (with -anml)")
+		system    = flag.String("system", "all", "execution system: ap, apcpu, spap, or all")
+		profile   = flag.Float64("profile", 0.01, "profiling input fraction")
+		capacity  = flag.Int("capacity", 3000, "AP half-core capacity in STEs")
+		divisor   = flag.Int("divisor", 8, "workload scale divisor (with -app)")
+		inputLen  = flag.Int("input", 131072, "generated input length (with -app)")
+		seed      = flag.Int64("seed", 1, "generation seed (with -app)")
+		trace     = flag.String("trace", "", "write a per-cycle frontier-size CSV to this file")
+		noLint    = flag.Bool("nolint", false, "skip linting the ingested network")
+		strict    = flag.Bool("strict", false, "fail (exit 1) when the linter reports findings instead of warning")
+		timeout   = flag.Duration("timeout", 0, "wall-clock deadline per execution (0 = none); partial stats are printed on expiry")
+		guard     = flag.Bool("guard", false, "run BaseAP/SpAP under the adaptive guard (watchdog + widened-k retry + baseline fallback)")
+		faultSpec = flag.String("fault", "", "inject faults: comma-separated kind=rate of stuckoff|stuckon|flip|drop|loadfail")
+		faultSeed = flag.Int64("faultseed", 1, "fault-injection seed (with -fault)")
+		repair    = flag.Bool("repair", false, "repair injected stuck faults via spare-STE remapping and verify report equivalence")
+		spares    = flag.Int("spares", 0, "spare STEs per block for -repair (0 = the minimum that suffices)")
 	)
 	flag.Parse()
 
@@ -69,14 +85,74 @@ func main() {
 		fmt.Printf("frontier trace written to %s\n\n", *trace)
 	}
 
-	eng := sparseap.NewEngine(sparseap.DefaultAPConfig().WithCapacity(*capacity))
-	base, err := eng.RunBaseline(net, input)
+	cfg := sparseap.DefaultAPConfig().WithCapacity(*capacity)
+	eng := sparseap.NewEngine(cfg)
+
+	// Fault injection: stuck-at faults transform the network before any
+	// execution (optionally repaired via spare STEs); the remaining fault
+	// classes hook into the partitioned executors through eng.Faults.
+	plan, err := sparseap.ParseFaultPlan(*faultSpec, *faultSeed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("baseline AP:   %d batches, %d cycles, %d reports, %.3f ms\n",
-		base.Batches, base.Cycles, base.Reports, base.TimeNS/1e6)
+	inj := sparseap.NewFaultInjector(plan)
+	if inj.Active() {
+		eng.Faults = inj
+		injection := inj.InjectStuck(net)
+		if len(injection.Faults) > 0 {
+			fmt.Printf("faults:        %s (seed %d)\n", injection.Summary(), plan.Seed)
+			if *repair {
+				sp := *spares
+				if sp == 0 {
+					sp = injection.MinSparesPerBlock(cfg)
+				}
+				repaired, rst, err := injection.Repair(cfg, sp)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("repair:        %d STEs remapped across %d blocks (max %d/block, %d spares each)\n",
+					rst.Remapped, rst.BlocksTouched, rst.MaxPerBlock, sp)
+				if got, want := len(sparseap.Match(repaired, input)), len(sparseap.Match(net, input)); got != want {
+					fmt.Fprintf(os.Stderr, "apsim: repaired network reports diverge: %d vs %d fault-free\n", got, want)
+					os.Exit(1)
+				}
+				fmt.Printf("repair:        report equivalence verified against the fault-free network\n")
+				net = repaired
+			} else {
+				net = injection.Net
+			}
+		}
+	}
+
+	// runCtx builds the per-execution context; expired runs print partial
+	// statistics flagged with "(cancelled)".
+	runCtx := func() (context.Context, context.CancelFunc) {
+		if *timeout > 0 {
+			return context.WithTimeout(context.Background(), *timeout)
+		}
+		return context.Background(), func() {}
+	}
+	note := func(err error) string {
+		if err != nil {
+			return " (cancelled: partial)"
+		}
+		return ""
+	}
+	fatal := func(err error) {
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	ctx, cancel := runCtx()
+	base, err := eng.RunBaselineContext(ctx, net, input)
+	cancel()
+	fatal(err)
+	fmt.Printf("baseline AP:   %d batches, %d cycles, %d reports, %.3f ms%s\n",
+		base.Batches, base.Cycles, base.Reports, base.TimeNS/1e6, note(err))
 	if *system == "ap" {
 		return
 	}
@@ -94,29 +170,40 @@ func main() {
 		100*part.ResourceSaving(), part.NumIntermediate, n)
 
 	if *system == "spap" || *system == "all" {
-		res, err := eng.RunBaseAPSpAP(part, input)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		ctx, cancel := runCtx()
+		var res *sparseap.ExecResult
+		if *guard {
+			res, err = eng.RunGuarded(ctx, part, input, sparseap.DefaultGuard())
+		} else {
+			res, err = eng.RunBaseAPSpAPContext(ctx, part, input)
 		}
+		cancel()
+		fatal(err)
 		jr := "-"
 		if !math.IsNaN(res.JumpRatio) {
 			jr = fmt.Sprintf("%.2f%%", 100*res.JumpRatio)
 		}
-		fmt.Printf("BaseAP/SpAP:   %d+%d executions, %d cycles, %d reports, %d IM reports, %d stalls, jump %s, speedup %.2fx\n",
+		fmt.Printf("BaseAP/SpAP:   %d+%d executions, %d cycles, %d reports, %d IM reports, %d stalls, jump %s, speedup %.2fx%s\n",
 			res.BaseAPBatches, res.SpAPExecutions, res.TotalCycles, res.NumReports,
 			res.IntermediateReports, res.EnableStalls, jr,
-			sparseap.Speedup(base.Cycles, res.TotalCycles))
+			sparseap.Speedup(base.Cycles, res.TotalCycles), note(err))
+		if g := res.Guard; g != nil && (g.Trips > 0 || g.BatchFallbacks > 0) {
+			fmt.Printf("guard:         %d attempts, %d trips, widened=%v, baseline-fallback=%v, %d batch fallbacks, %d wasted + %d fallback cycles\n",
+				g.Attempts, g.Trips, g.Widened, g.FallbackBaseline, g.BatchFallbacks,
+				g.WastedCycles, g.FallbackCycles)
+		}
+		if res.Fault.Any() {
+			fmt.Printf("faults hit:    %s\n", res.Fault)
+		}
 	}
 	if *system == "apcpu" || *system == "all" {
-		res, err := eng.RunAPCPU(part, input)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("AP-CPU:        %d executions, %.3f ms (%.3f ms on CPU), %d reports, speedup %.2fx\n",
+		ctx, cancel := runCtx()
+		res, err := eng.RunAPCPUContext(ctx, part, input)
+		cancel()
+		fatal(err)
+		fmt.Printf("AP-CPU:        %d executions, %.3f ms (%.3f ms on CPU), %d reports, speedup %.2fx%s\n",
 			res.BaseAPBatches, res.TimeNS/1e6, res.CPUTimeNS/1e6, res.NumReports,
-			base.TimeNS/res.TimeNS)
+			base.TimeNS/res.TimeNS, note(err))
 	}
 }
 

@@ -1,6 +1,8 @@
 package sparseap
 
 import (
+	"context"
+
 	"sparseap/internal/automata"
 	"sparseap/internal/dfa"
 	"sparseap/internal/sim"
@@ -31,12 +33,34 @@ func MatchParallel(net *Network, input []byte, opts ParallelOptions) ([]Report, 
 	return sim.ParallelRun(net, input, opts)
 }
 
+// MatchParallelContext is MatchParallel with cancellation: workers stop
+// early when ctx fires and the partial reports gathered so far are
+// returned with ctx.Err().
+func MatchParallelContext(ctx context.Context, net *Network, input []byte, opts ParallelOptions) ([]Report, error) {
+	return sim.ParallelRunContext(ctx, net, input, opts)
+}
+
 // Streamer is an incremental matcher implementing io.Writer; reports are
-// delivered through its OnReport callback as input arrives.
+// delivered through its OnReport callback as input arrives, or buffered
+// (bounded, see sim.DefaultStreamBuffer) for TakeReports otherwise.
 type Streamer = sim.Streamer
 
-// NewStreamer builds a streaming matcher over net.
+// StreamerOptions configures a Streamer's report-buffer cap and
+// cancellation context.
+type StreamerOptions = sim.StreamerOptions
+
+// ErrReportOverflow is returned by Streamer.Write when the bounded report
+// buffer fills up.
+var ErrReportOverflow = sim.ErrReportOverflow
+
+// NewStreamer builds a streaming matcher over net with default options.
 func NewStreamer(net *Network) *Streamer { return sim.NewStreamer(net) }
+
+// NewStreamerOpts builds a streaming matcher with explicit buffering and
+// cancellation behaviour.
+func NewStreamerOpts(net *Network, opts StreamerOptions) *Streamer {
+	return sim.NewStreamerOpts(net, opts)
+}
 
 // DFA is a lazily determinized matcher over the same network model — the
 // CPU-side baseline the paper's related work contrasts with AP execution.

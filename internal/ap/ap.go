@@ -10,6 +10,7 @@
 package ap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -199,6 +200,15 @@ type BaselineResult struct {
 // are produced functionally (they are identical to a single full-network
 // pass because batches are independent); cycles follow the batching model.
 func RunBaseline(net *automata.Network, input []byte, cfg Config) (*BaselineResult, error) {
+	return RunBaselineContext(context.Background(), net, input, cfg)
+}
+
+// RunBaselineContext is RunBaseline with cancellation: the underlying
+// simulation polls ctx and stops early when it fires. On cancellation the
+// partial result (cycles and reports for the symbols processed so far) is
+// returned together with ctx.Err(); the result is nil only for
+// configuration or partitioning errors.
+func RunBaselineContext(ctx context.Context, net *automata.Network, input []byte, cfg Config) (*BaselineResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -206,13 +216,13 @@ func RunBaseline(net *automata.Network, input []byte, cfg Config) (*BaselineResu
 	if err != nil {
 		return nil, err
 	}
-	res := sim.Run(net, input, sim.Options{})
+	res, err := sim.RunContext(ctx, net, input, sim.Options{})
 	return &BaselineResult{
 		Batches: len(batches),
-		Cycles:  int64(len(batches)) * int64(len(input)),
+		Cycles:  int64(len(batches)) * res.Symbols,
 		Reports: res.NumReports,
-		TimeNS:  float64(len(batches)) * float64(len(input)) * cfg.CycleNS,
-	}, nil
+		TimeNS:  float64(len(batches)) * float64(res.Symbols) * cfg.CycleNS,
+	}, err
 }
 
 // BaselineCycles returns the cycle count of the batching model without

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"sparseap/internal/ap"
+	"sparseap/internal/sim"
+	"sparseap/internal/spap"
+	"sparseap/internal/workloads"
+)
+
+func TestResilienceSmallScale(t *testing.T) {
+	s := testSuite()
+	r, err := Resilience(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 || len(r.Trials) != 2*faultSweepSeeds*len(faultSweepApps) {
+		t.Fatalf("row/trial counts wrong: %d rows, %d trials", len(r.Rows), len(r.Trials))
+	}
+	// The guard must not cost the healthy geomean more than 2%.
+	if r.GeoGuarded < 0.98*r.GeoUnguarded {
+		t.Fatalf("guarded geomean %.3f dropped below 98%% of unguarded %.3f", r.GeoGuarded, r.GeoUnguarded)
+	}
+	for _, row := range r.Rows {
+		// An untripped guard is transparent: identical speedup.
+		if row.Trips == 0 && row.BatchFallbacks == 0 &&
+			math.Abs(row.Guarded-row.Unguarded) > 1e-12 {
+			t.Errorf("%s: guard changed an untripped run: %.4f vs %.4f", row.Abbr, row.Guarded, row.Unguarded)
+		}
+	}
+	for _, tr := range r.Trials {
+		if !tr.OK {
+			t.Errorf("fault trial failed: %+v", tr)
+		}
+		if tr.Kind == "stuck" && tr.Faults == 0 {
+			t.Errorf("%s seed %d: no stuck faults injected", tr.Abbr, tr.Seed)
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Resilience") || !strings.Contains(out, "Fault-injection sweep") {
+		t.Fatal("render missing sections")
+	}
+}
+
+// TestResiliencePENGuardedFullScale pins the acceptance criterion: at the
+// default (paper 1/8) scale, PEN's partition at 1% profiling storms and the
+// unguarded executor lands at ~0.54×; the guard must recover to >= 0.95×.
+func TestResiliencePENGuardedFullScale(t *testing.T) {
+	wl := workloads.Config{InputLen: 131072, Divisor: 8, Seed: 1}
+	s := NewSuite(wl, ap.DefaultConfig().WithCapacity(3000))
+	a, err := s.App("PEN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := a.BaselineCycles(s.AP.Capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := a.RunBaseAPSpAP(0.01, s.AP.Capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unguarded := float64(base) / float64(plain.TotalCycles)
+	if unguarded > 0.7 {
+		t.Fatalf("PEN unguarded speedup %.2f: the storm pathology disappeared from the workload", unguarded)
+	}
+	p, err := a.Partition(0.01, s.AP.Capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spap.RunGuarded(context.Background(), p, a.TestInput(), s.AP, spap.DefaultGuard(), spap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded := float64(base) / float64(res.TotalCycles)
+	if guarded < 0.95 {
+		t.Errorf("PEN guarded speedup %.3f < 0.95 (unguarded %.3f)", guarded, unguarded)
+	}
+	if res.Guard.Trips == 0 || !res.Guard.FallbackBaseline {
+		t.Errorf("PEN guard did not engage: %+v", res.Guard)
+	}
+	// Report-count equivalence across the degradation ladder.
+	want := sim.Run(a.App.Net, a.TestInput(), sim.Options{}).NumReports
+	if res.NumReports != want {
+		t.Errorf("guarded reports %d != baseline %d", res.NumReports, want)
+	}
+}

@@ -1,0 +1,171 @@
+package fault_test
+
+import (
+	"errors"
+	"testing"
+
+	"sparseap/internal/ap"
+	"sparseap/internal/fault"
+	"sparseap/internal/sim"
+	"sparseap/internal/workloads"
+)
+
+// buildApp returns a small suite application with a nonzero report count,
+// so stuck faults observably perturb behaviour.
+func buildApp(t *testing.T) (*workloads.App, []sim.Report) {
+	t.Helper()
+	app, err := workloads.Build("Fermi", workloads.Config{Divisor: 64, InputLen: 8192, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run(app.Net, app.Input, sim.Options{CollectReports: true})
+	if res.NumReports == 0 {
+		t.Fatal("fault-free run has no reports; pick a different app")
+	}
+	return app, res.Reports
+}
+
+func sameReports(a, b []sim.Report) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := fault.ParsePlan("stuckoff=0.01,drop=0.05, loadfail=1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.StuckOffRate != 0.01 || p.ReportDropRate != 0.05 || p.LoadFailRate != 1 {
+		t.Errorf("parsed plan wrong: %+v", p)
+	}
+	if !p.Active() {
+		t.Error("parsed plan should be active")
+	}
+	if p, err := fault.ParsePlan("", 1); err != nil || p.Active() {
+		t.Errorf("empty spec should parse to an inactive plan, got %+v, %v", p, err)
+	}
+	for _, bad := range []string{"stuckoff", "bogus=0.1", "drop=1.5", "flip=x"} {
+		if _, err := fault.ParsePlan(bad, 1); err == nil {
+			t.Errorf("ParsePlan(%q) should fail", bad)
+		}
+	}
+}
+
+func TestInjectStuckDeterministic(t *testing.T) {
+	app, _ := buildApp(t)
+	plan := fault.Plan{Seed: 42, StuckOffRate: fault.RateForCount(20, app.Net.Len()),
+		StuckOnRate: fault.RateForCount(10, app.Net.Len())}
+	a := fault.New(plan).InjectStuck(app.Net)
+	b := fault.New(plan).InjectStuck(app.Net)
+	if len(a.Faults) == 0 {
+		t.Fatal("expected some stuck faults")
+	}
+	if len(a.Faults) != len(b.Faults) {
+		t.Fatalf("fault counts differ: %d vs %d", len(a.Faults), len(b.Faults))
+	}
+	for i := range a.Faults {
+		if a.Faults[i] != b.Faults[i] {
+			t.Fatalf("fault %d differs: %v vs %v", i, a.Faults[i], b.Faults[i])
+		}
+	}
+	// The original network must be untouched.
+	for s := 0; s < app.Net.Len(); s++ {
+		if app.Net.States[s].Match.IsEmpty() && !a.Net.States[s].Match.IsEmpty() {
+			t.Fatalf("original network mutated at state %d", s)
+		}
+	}
+	if &app.Net.States[0] == &a.Net.States[0] {
+		t.Fatal("injection did not clone the network")
+	}
+}
+
+func TestRuntimeDecisionsDeterministic(t *testing.T) {
+	in := fault.New(fault.Plan{Seed: 3, EnableFlipRate: 0.1, ReportDropRate: 0.2, LoadFailRate: 0.5})
+	for pos := int64(0); pos < 2000; pos++ {
+		s1, ok1 := in.FlipAt(pos, 500)
+		s2, ok2 := in.FlipAt(pos, 500)
+		if s1 != s2 || ok1 != ok2 {
+			t.Fatalf("FlipAt(%d) not deterministic", pos)
+		}
+		if in.DropReport(pos) != in.DropReport(pos) {
+			t.Fatalf("DropReport(%d) not deterministic", pos)
+		}
+	}
+	if in.LoadFails(0, 0) != in.LoadFails(0, 0) {
+		t.Fatal("LoadFails not deterministic")
+	}
+	// A nil injector makes no decisions.
+	var nilInj *fault.Injector
+	if nilInj.Active() || nilInj.DropReport(1) || nilInj.LoadFails(0, 0) {
+		t.Error("nil injector should be inert")
+	}
+	if _, ok := nilInj.FlipAt(1, 10); ok {
+		t.Error("nil injector should not flip")
+	}
+}
+
+func TestRepairRestoresReportEquivalence(t *testing.T) {
+	app, want := buildApp(t)
+	cfg := ap.DefaultConfig()
+	plan := fault.Plan{Seed: 1, StuckOffRate: fault.RateForCount(30, app.Net.Len()),
+		StuckOnRate: fault.RateForCount(5, app.Net.Len())}
+	inj := fault.New(plan).InjectStuck(app.Net)
+	if len(inj.Faults) == 0 {
+		t.Fatal("expected stuck faults")
+	}
+
+	// Unrepaired, the faulty network's reports must diverge — otherwise the
+	// repair assertion below would be vacuous.
+	faulty := sim.Run(inj.Net, app.Input, sim.Options{CollectReports: true})
+	if sameReports(faulty.Reports, want) {
+		t.Fatal("injected faults did not perturb the report stream; raise the rate")
+	}
+
+	spares := inj.MinSparesPerBlock(cfg)
+	if spares == 0 {
+		t.Fatal("expected nonzero spare demand")
+	}
+	repaired, st, err := inj.Repair(cfg, spares)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if st.Remapped != len(inj.Faults) || st.MaxPerBlock != spares || st.BlocksTouched == 0 {
+		t.Errorf("repair stats inconsistent: %+v (faults %d, spares %d)", st, len(inj.Faults), spares)
+	}
+	got := sim.Run(repaired, app.Input, sim.Options{CollectReports: true})
+	if !sameReports(got.Reports, want) {
+		t.Fatalf("repaired reports diverge: %d vs %d fault-free", len(got.Reports), len(want))
+	}
+}
+
+func TestRepairSparesExhausted(t *testing.T) {
+	app, _ := buildApp(t)
+	cfg := ap.DefaultConfig()
+	inj := fault.New(fault.Plan{Seed: 1, StuckOffRate: fault.RateForCount(30, app.Net.Len())}).InjectStuck(app.Net)
+	spares := inj.MinSparesPerBlock(cfg)
+	if spares < 2 {
+		t.Fatalf("want a block with >=2 faults for this test, max demand %d", spares)
+	}
+	if _, _, err := inj.Repair(cfg, spares-1); !errors.Is(err, fault.ErrSparesExhausted) {
+		t.Errorf("Repair with %d spares: got %v, want ErrSparesExhausted", spares-1, err)
+	}
+}
+
+func TestRateForCount(t *testing.T) {
+	if r := fault.RateForCount(10, 1000); r != 0.01 {
+		t.Errorf("RateForCount(10,1000) = %v", r)
+	}
+	if r := fault.RateForCount(10, 5); r != 1 {
+		t.Errorf("RateForCount should clamp to 1, got %v", r)
+	}
+	if r := fault.RateForCount(1, 0); r != 0 {
+		t.Errorf("RateForCount with n=0 should be 0, got %v", r)
+	}
+}

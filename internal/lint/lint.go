@@ -187,6 +187,9 @@ type Options struct {
 	// drops weaker diagnostics from the ones that run. The zero value
 	// (Info) runs everything.
 	MinSeverity Severity
+	// ReportBudget overrides the intermediate-report density the AP016
+	// analyzer warns above; 0 means DefaultReportBudget.
+	ReportBudget float64
 }
 
 func (o Options) wants(a *Analyzer) bool {

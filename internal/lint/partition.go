@@ -2,10 +2,12 @@ package lint
 
 import (
 	"fmt"
+	"sort"
 
 	"sparseap/internal/automata"
 	"sparseap/internal/bitvec"
 	"sparseap/internal/graph"
+	"sparseap/internal/symset"
 )
 
 // PartitionInfo is the lint-facing view of a hot/cold partition (Section
@@ -35,9 +37,18 @@ type PartitionInfo struct {
 	ColdID []automata.StateID
 }
 
-// This file registers the partition analyzers (AP011–AP015), which verify
-// the structural guarantees of Section IV-C that the BaseAP/SpAP executor
-// relies on.
+// DefaultReportBudget is the intermediate-report density — reports per
+// input symbol — above which a partition is considered storm-prone: PEN's
+// measured density of ~2.6 sits orders of magnitude above it while every
+// healthy suite application stays below ~0.06. It is the shared threshold
+// of the AP016 analyzer (static prediction) and the spap runtime guard
+// (dynamic watchdog); lint owns it so both layers agree without an import
+// cycle.
+const DefaultReportBudget = 0.15
+
+// This file registers the partition analyzers (AP011–AP015 and the AP016
+// report-density heuristic), which verify the structural guarantees of
+// Section IV-C that the BaseAP/SpAP executor relies on.
 
 func init() {
 	Register(analyzerColdHotEdge)
@@ -45,6 +56,85 @@ func init() {
 	Register(analyzerColdStart)
 	Register(analyzerIntermediate)
 	Register(analyzerFragmentMaps)
+	Register(analyzerReportDensity)
+}
+
+// analyzerReportDensity (AP016) statically predicts a partition's
+// intermediate-report density and warns when it exceeds the report budget
+// the runtime guard enforces dynamically. Profiling-input replay cannot
+// predict storms — by hot-set monotonicity the profiling input produces
+// zero intermediate reports — so the heuristic is structural: activation
+// probability is propagated through the hot network in topological order
+// under a uniform-symbol model over the live alphabet (the union of the
+// hot states' match sets; symbols no state matches cannot drive
+// activations and would only dilute the estimate):
+//
+//	p_act(s) = p_en(s) * |Match(s)| / |alphabet|
+//	p_en(s)  = 1 for start states, else min(1, sum of parent p_act)
+//
+// The predicted density is the sum of p_act over the intermediate
+// reporting states, in expected reports per input symbol. Storm-prone
+// partitions (PEN-like cores whose cut sits below a high-fanout choke
+// point) land orders of magnitude above the budget; healthy suite
+// partitions land well below it.
+var analyzerReportDensity = &Analyzer{
+	Code:           "AP016",
+	Name:           "report-density",
+	Doc:            "the predicted intermediate-report density exceeds the report budget: the partition is storm-prone and SpAP-mode enable stalls may erase the speedup",
+	Default:        Warning,
+	NeedsPartition: true,
+	Run: func(p *Pass, a *Analyzer) []Diagnostic {
+		pi := p.Part
+		budget := p.Opts.ReportBudget
+		if budget <= 0 {
+			budget = DefaultReportBudget
+		}
+		var alphabet symset.Set
+		for i := range pi.Hot.States {
+			alphabet = alphabet.Union(pi.Hot.States[i].Match)
+		}
+		live := alphabet.Len()
+		if live == 0 {
+			return nil
+		}
+		n := pi.Hot.Len()
+		topo := graph.TopoOrder(pi.Hot)
+		order := make([]automata.StateID, n)
+		for i := range order {
+			order[i] = automata.StateID(i)
+		}
+		sort.Slice(order, func(i, j int) bool {
+			return topo.Order[order[i]] < topo.Order[order[j]]
+		})
+		enAcc := make([]float64, n) // sum of parent p_act, before capping
+		pAct := make([]float64, n)
+		for _, s := range order {
+			st := pi.Hot.States[s]
+			pEn := enAcc[s]
+			if pEn > 1 {
+				pEn = 1
+			}
+			if st.Start != automata.StartNone {
+				pEn = 1
+			}
+			pAct[s] = pEn * float64(st.Match.Len()) / float64(live)
+			for _, t := range st.Succ {
+				enAcc[t] += pAct[s]
+			}
+		}
+		density := 0.0
+		for iv := range pi.Intermediate {
+			density += pAct[iv]
+		}
+		if density <= budget {
+			return nil
+		}
+		return []Diagnostic{{Code: a.Code, Severity: Warning,
+			NFA: -1, State: automata.None,
+			Msg: fmt.Sprintf("predicted intermediate-report density %.3f reports/symbol exceeds the %.2f budget (%d intermediates, %d-symbol live alphabet)",
+				density, budget, len(pi.Intermediate), live),
+			Fix: "widen the partition layer k, raise the profiling fraction, or execute under the adaptive guard (RunGuarded)"}}
+	},
 }
 
 var analyzerColdHotEdge = &Analyzer{

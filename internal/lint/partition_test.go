@@ -43,7 +43,10 @@ func only(pi *lint.PartitionInfo, code string) *lint.Result {
 func TestValidPartitionIsClean(t *testing.T) {
 	for _, k := range []int32{1, 2, 3} {
 		part := buildChainPartition(t, k)
-		res := lint.RunPartition(part.LintInfo(), lint.Options{})
+		// Structural analyzers (AP011–AP015) must stay silent; AP016 is a
+		// density heuristic and legitimately fires on this tiny chain (one
+		// intermediate over a two-symbol alphabet is 0.25 reports/symbol).
+		res := lint.RunPartition(part.LintInfo(), lint.Options{MinSeverity: lint.Error})
 		if len(res.Diags) != 0 {
 			t.Errorf("k=%d: valid partition produced diagnostics: %v", k, res.Diags)
 		}
@@ -164,6 +167,66 @@ func TestAP015FragmentMapInconsistencies(t *testing.T) {
 				t.Errorf("expected AP015 after %s corruption, got %v", name, res.Diags)
 			}
 		})
+	}
+}
+
+// buildFanPartition cuts a two-layer network at k=1: `starts` always-on
+// states matching [lo,hi] all feed one reporting child matching the same
+// range, so every child activation becomes an intermediate report.
+func buildFanPartition(t *testing.T, starts int, lo, hi byte) *hotcold.Partition {
+	t.Helper()
+	m := automata.NewNFA()
+	var wide symset.Set
+	wide.AddRange(lo, hi)
+	var parents []automata.StateID
+	for i := 0; i < starts; i++ {
+		parents = append(parents, m.Add(wide, automata.StartAllInput, false))
+	}
+	child := m.Add(wide, automata.StartNone, true)
+	for _, p := range parents {
+		m.Connect(p, child)
+	}
+	net := automata.NewNetwork(m)
+	part, err := hotcold.Build(net, graph.TopoOrder(net), []int32{1}, hotcold.Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return part
+}
+
+func TestAP016StormPronePartition(t *testing.T) {
+	// PEN-shaped core: always-enabled hot layer driving an intermediate
+	// that matches half the live alphabet. Predicted density ~1 report per
+	// symbol, far over the 0.15 budget.
+	part := buildFanPartition(t, 4, 'a', 'a'+127)
+	res := only(part.LintInfo(), "AP016")
+	if res.Counts()["AP016"] == 0 {
+		t.Errorf("expected AP016 on a storm-prone partition, got %v", res.Diags)
+	}
+	// A generous explicit budget silences it.
+	res = lint.RunPartition(part.LintInfo(), lint.Options{Enable: []string{"AP016"}, ReportBudget: 2})
+	if res.Counts()["AP016"] != 0 {
+		t.Errorf("expected no AP016 under a 2.0 budget, got %v", res.Diags)
+	}
+}
+
+func TestAP016HealthyPartition(t *testing.T) {
+	// The hot layer matches half the alphabet but the intermediate matches
+	// a single symbol: predicted density ~1/129, well under budget.
+	m := automata.NewNFA()
+	var wide symset.Set
+	wide.AddRange('a', 'a'+127)
+	a := m.Add(wide, automata.StartAllInput, false)
+	b := m.Add(symset.Single('z'), automata.StartNone, true)
+	m.Connect(a, b)
+	net := automata.NewNetwork(m)
+	part, err := hotcold.Build(net, graph.TopoOrder(net), []int32{1}, hotcold.Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res := only(part.LintInfo(), "AP016")
+	if res.Counts()["AP016"] != 0 {
+		t.Errorf("expected no AP016 on a healthy partition, got %v", res.Diags)
 	}
 }
 

@@ -78,10 +78,13 @@ func Mean(vals []float64) float64 {
 	return sum / float64(len(vals))
 }
 
-// Speedup returns baseline/new and handles the degenerate zero case.
+// Speedup returns baseline/new. The degenerate newCycles == 0 case (an
+// execution that did no work, e.g. one cancelled before its first batch)
+// yields 0 rather than +Inf so that downstream geomeans and tables stay
+// finite.
 func Speedup(baselineCycles, newCycles int64) float64 {
 	if newCycles == 0 {
-		return math.Inf(1)
+		return 0
 	}
 	return float64(baselineCycles) / float64(newCycles)
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -43,6 +44,14 @@ var ErrCyclic = fmt.Errorf("sim: network has cycles; parallel overlap is only ex
 // are rejected: their matches are anchored to position 0 and cannot be
 // re-derived inside a chunk.
 func ParallelRun(net *automata.Network, input []byte, opts ParallelOptions) ([]Report, error) {
+	return ParallelRunContext(context.Background(), net, input, opts)
+}
+
+// ParallelRunContext is ParallelRun with cancellation: every worker polls
+// ctx and stops early when it fires. On cancellation the reports gathered
+// so far (a valid partial prefix of each chunk) are returned together with
+// ctx.Err().
+func ParallelRunContext(ctx context.Context, net *automata.Network, input []byte, opts ParallelOptions) ([]Report, error) {
 	for s := range net.States {
 		if net.States[s].Start == automata.StartOfData {
 			return nil, fmt.Errorf("sim: start-of-data networks cannot run in parallel chunks")
@@ -92,7 +101,8 @@ func ParallelRun(net *automata.Network, input []byte, opts ParallelOptions) ([]R
 		workers = len(input)
 	}
 	if workers <= 1 {
-		return Run(net, input, Options{CollectReports: true}).Reports, nil
+		res, err := RunContext(ctx, net, input, Options{CollectReports: true})
+		return res.Reports, err
 	}
 	chunk := (len(input) + workers - 1) / workers
 	results := make([][]Report, workers)
@@ -121,12 +131,28 @@ func ParallelRun(net *automata.Network, input []byte, opts ParallelOptions) ([]R
 				}
 			}
 			for i := warm; i < end; i++ {
+				if i&(cancelCheckInterval-1) == 0 && cancelled(ctx) {
+					break
+				}
 				eng.Step(int64(i), input[i])
 			}
 			results[w] = out
 		}(w, start, end)
 	}
 	wg.Wait()
+	if cancelled(ctx) {
+		var partial []Report
+		for _, r := range results {
+			partial = append(partial, r...)
+		}
+		sort.Slice(partial, func(a, b int) bool {
+			if partial[a].Pos != partial[b].Pos {
+				return partial[a].Pos < partial[b].Pos
+			}
+			return partial[a].State < partial[b].State
+		})
+		return partial, ctx.Err()
+	}
 	var all []Report
 	for _, r := range results {
 		all = append(all, r...)

@@ -15,9 +15,28 @@
 package sim
 
 import (
+	"context"
+
 	"sparseap/internal/automata"
 	"sparseap/internal/bitvec"
 )
+
+// cancelCheckInterval is how many symbols an execution loop processes
+// between context polls. At the modeled 7.5 ns cycle this is ~30 µs of
+// simulated stream — far below one batch — so every entry point returns
+// well within a batch of cancellation while keeping the common path free
+// of per-symbol select overhead.
+const cancelCheckInterval = 4096
+
+// cancelled polls ctx without blocking.
+func cancelled(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
 
 // Report is one match: reporting state s activated at input position Pos.
 type Report struct {
@@ -144,6 +163,36 @@ func (e *Engine) enableCur(s automata.StateID) {
 // operation (Section V-B).
 func (e *Engine) EnableState(s automata.StateID) { e.enableCur(s) }
 
+// DisableState removes s from the frontier consumed by the next Step. It
+// models the destructive half of a transient enable-bit flip (soft error);
+// all-input start states cannot be disabled, matching the hardware where
+// their enable line is hard-wired. The frontier is compacted lazily, so
+// the call is O(frontier) only when s was actually enabled.
+func (e *Engine) DisableState(s automata.StateID) {
+	if !e.inCur.Get(int(s)) {
+		return
+	}
+	e.inCur.Clear(int(s))
+	for i, f := range e.frontier {
+		if f == s {
+			last := len(e.frontier) - 1
+			e.frontier[i] = e.frontier[last]
+			e.frontier = e.frontier[:last]
+			return
+		}
+	}
+}
+
+// ToggleState flips the enable bit of s: enabled states are disabled and
+// vice versa — the SpAP-model view of a transient enable-bit flip.
+func (e *Engine) ToggleState(s automata.StateID) {
+	if e.inCur.Get(int(s)) {
+		e.DisableState(s)
+		return
+	}
+	e.enableCur(s)
+}
+
 // FrontierEmpty reports whether no state is dynamically enabled. For a
 // network with no all-input start states this is the SpAP jump condition.
 func (e *Engine) FrontierEmpty() bool { return len(e.frontier) == 0 }
@@ -209,13 +258,29 @@ func (e *Engine) EverEnabled() *bitvec.Vec { return e.ever }
 
 // Run executes net over input and returns the result summary.
 func Run(net *automata.Network, input []byte, opts Options) *Result {
+	res, _ := RunContext(context.Background(), net, input, opts)
+	return res
+}
+
+// RunContext is Run with cancellation: the loop polls ctx every
+// cancelCheckInterval symbols and, when cancelled, returns the partial
+// result accumulated so far (Symbols records how far it got) together
+// with ctx.Err(). The result is never nil.
+func RunContext(ctx context.Context, net *automata.Network, input []byte, opts Options) (*Result, error) {
 	e := NewEngine(net, opts)
+	var err error
+	processed := int64(0)
 	for i, b := range input {
+		if i&(cancelCheckInterval-1) == 0 && cancelled(ctx) {
+			err = ctx.Err()
+			break
+		}
 		e.Step(int64(i), b)
+		processed++
 	}
 	res := &Result{
 		NumReports: e.numReports,
-		Symbols:    int64(len(input)),
+		Symbols:    processed,
 	}
 	if opts.CollectReports {
 		res.Reports = append([]Report(nil), e.reports...)
@@ -223,7 +288,7 @@ func Run(net *automata.Network, input []byte, opts Options) *Result {
 	if opts.TrackEnabled {
 		res.EverEnabled = e.ever.Clone()
 	}
-	return res
+	return res, err
 }
 
 // HotStates runs net over input and returns the ever-enabled set. This is

@@ -1,45 +1,133 @@
 package sim
 
-import "sparseap/internal/automata"
+import (
+	"context"
+	"fmt"
+
+	"sparseap/internal/automata"
+)
+
+// DefaultStreamBuffer is the report-buffer cap a Streamer uses when
+// StreamerOptions.BufferCap is zero: 1<<20 reports (16 MiB at 16 bytes
+// per report). A long-lived stream that neither sets OnReport nor drains
+// TakeReports hits ErrReportOverflow at this bound instead of growing
+// memory without limit.
+const DefaultStreamBuffer = 1 << 20
+
+// ErrReportOverflow is returned by Streamer.Write when the internal report
+// buffer reaches its cap. Drain with TakeReports, raise BufferCap, or set
+// OnReport to consume matches as they happen.
+var ErrReportOverflow = fmt.Errorf("sim: streamer report buffer full (drain TakeReports, raise BufferCap, or set OnReport)")
+
+// StreamerOptions configures NewStreamerOpts.
+type StreamerOptions struct {
+	// BufferCap caps the internal report buffer used while OnReport is
+	// nil. 0 means DefaultStreamBuffer; negative disables buffering
+	// entirely (reports are counted but not retained).
+	BufferCap int
+	// Context, when non-nil, cancels in-flight Write calls: Write returns
+	// the symbols consumed so far and the context's error.
+	Context context.Context
+}
 
 // Streamer adapts an Engine to incremental io.Writer-style feeding, so a
 // matcher can sit inside a network pipeline and consume data as it
 // arrives. The position counter persists across Write calls.
+//
+// Matches are delivered through OnReport when set; otherwise they
+// accumulate in a bounded internal buffer (see StreamerOptions.BufferCap
+// and DefaultStreamBuffer) read with TakeReports. When the buffer is full
+// Write stops at the overflowing symbol and returns ErrReportOverflow —
+// memory use is bounded no matter how long the stream lives.
 type Streamer struct {
 	eng *Engine
 	pos int64
-	// OnReport receives each match as it happens.
+	ctx context.Context
+	cap int
+	buf []Report
+	// OnReport receives each match as it happens; setting it bypasses the
+	// internal buffer.
 	OnReport func(pos int64, s automata.StateID)
+	overflow bool
 }
 
-// NewStreamer builds a streaming matcher over net.
+// NewStreamer builds a streaming matcher over net with default options.
 func NewStreamer(net *automata.Network) *Streamer {
-	st := &Streamer{}
+	return NewStreamerOpts(net, StreamerOptions{})
+}
+
+// NewStreamerOpts builds a streaming matcher with explicit buffering and
+// cancellation behaviour.
+func NewStreamerOpts(net *automata.Network, opts StreamerOptions) *Streamer {
+	st := &Streamer{ctx: opts.Context}
+	switch {
+	case opts.BufferCap < 0:
+		st.cap = 0
+	case opts.BufferCap == 0:
+		st.cap = DefaultStreamBuffer
+	default:
+		st.cap = opts.BufferCap
+	}
 	st.eng = NewEngine(net, Options{})
 	st.eng.OnReport = func(pos int64, s automata.StateID) {
 		if st.OnReport != nil {
 			st.OnReport(pos, s)
+			return
+		}
+		if len(st.buf) < st.cap {
+			st.buf = append(st.buf, Report{Pos: pos, State: s})
+		} else if st.cap > 0 {
+			st.overflow = true
 		}
 	}
 	return st
 }
 
-// Write consumes p; it never fails (the signature matches io.Writer so a
-// Streamer can terminate io.Copy / MultiWriter plumbing).
+// Write consumes p, stopping early on buffer overflow or context
+// cancellation; it returns how many bytes were consumed and the
+// corresponding error (nil on a full write, so a Streamer can terminate
+// io.Copy / MultiWriter plumbing in the happy path).
 func (st *Streamer) Write(p []byte) (int, error) {
-	for _, b := range p {
+	for i, b := range p {
+		if st.ctx != nil && st.pos&(cancelCheckInterval-1) == 0 && cancelled(st.ctx) {
+			return i, st.ctx.Err()
+		}
 		st.eng.Step(st.pos, b)
 		st.pos++
+		if st.overflow {
+			// The overflowing symbol was fully processed; reports beyond
+			// the cap for it are lost, so surface the error at once.
+			st.overflow = false
+			return i + 1, ErrReportOverflow
+		}
 	}
 	return len(p), nil
 }
+
+// TakeReports returns the buffered reports and resets the buffer, freeing
+// its capacity for further matches.
+func (st *Streamer) TakeReports() []Report {
+	out := st.buf
+	st.buf = nil
+	return out
+}
+
+// Buffered returns the number of reports currently held.
+func (st *Streamer) Buffered() int { return len(st.buf) }
+
+// NumReports returns the total number of reports emitted since the last
+// Reset, whether buffered, delivered to OnReport, or lost to overflow
+// handling.
+func (st *Streamer) NumReports() int64 { return st.eng.NumReports() }
 
 // Pos returns the number of symbols consumed so far.
 func (st *Streamer) Pos() int64 { return st.pos }
 
 // Reset rewinds the matcher to position 0 with no enabled states beyond
-// the start states.
+// the start states and an empty report buffer.
 func (st *Streamer) Reset() {
 	st.eng.Reset()
 	st.pos = 0
+	st.buf = nil
+	st.overflow = false
 }

@@ -18,15 +18,51 @@
 package spap
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"sparseap/internal/ap"
 	"sparseap/internal/automata"
+	"sparseap/internal/fault"
 	"sparseap/internal/hotcold"
 	"sparseap/internal/sim"
 )
+
+// cancelCheckInterval is how many cycles an execution loop runs between
+// context polls — the same granularity the sim package uses, far below one
+// batch, so every entry point returns well within a batch of cancellation.
+const cancelCheckInterval = 4096
+
+// cancelled polls ctx without blocking.
+func cancelled(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// loadConfigs models loading count batch configurations (global batch IDs
+// base..base+count-1) onto the fabric under an injector's load-failure
+// plan: each failed attempt is retried, counting into st.ConfigRetries,
+// until the injector's MaxLoadRetries cap trips fault.ErrConfigLoad.
+func loadConfigs(inj *fault.Injector, st *fault.Stats, base, count int) error {
+	if !inj.Active() {
+		return nil
+	}
+	for b := base; b < base+count; b++ {
+		for attempt := 0; inj.LoadFails(b, attempt); attempt++ {
+			st.ConfigRetries++
+			if attempt+1 >= inj.MaxLoadRetries() {
+				return fmt.Errorf("spap: batch %d: %w", b, fault.ErrConfigLoad)
+			}
+		}
+	}
+	return nil
+}
 
 // IntermediateReport is one mis-prediction event: the original cold state
 // Target must be enabled at input position Pos.
@@ -77,35 +113,75 @@ type Result struct {
 	NumReports int64
 	// Reports holds final reports in original state IDs, when collected.
 	Reports []sim.Report
+	// Fault counts the runtime faults an active injector applied (all
+	// zero when Options.Faults is nil or inactive).
+	Fault fault.Stats
+	// Guard holds watchdog statistics when the run went through
+	// RunGuarded; nil otherwise.
+	Guard *GuardStats
 }
 
 // Options configures an execution.
 type Options struct {
 	// CollectReports retains the final report list (original IDs).
 	CollectReports bool
+	// Faults, when non-nil and active, injects runtime faults during
+	// execution: transient enable-bit flips in both modes,
+	// intermediate-report queue drops, and batch-configuration load
+	// failures (retried up to the injector's MaxLoadRetries, after which
+	// the run fails with fault.ErrConfigLoad). Counters accumulate in
+	// Result.Fault. Stuck-at STE faults are a compile-time transformation;
+	// apply them to the network with fault.Injector.InjectStuck before
+	// partitioning.
+	Faults *fault.Injector
 }
 
 // RunBaseAPSpAP executes the partition under the BaseAP/SpAP system of
 // Table III and returns cycle-accurate statistics.
 func RunBaseAPSpAP(p *hotcold.Partition, input []byte, cfg ap.Config, opts Options) (*Result, error) {
+	return RunBaseAPSpAPContext(context.Background(), p, input, cfg, opts)
+}
+
+// RunBaseAPSpAPContext is RunBaseAPSpAP with cancellation: both execution
+// modes poll ctx and stop within cancelCheckInterval cycles of it firing.
+// On cancellation (and on injected configuration-load failure) the partial
+// result accumulated so far is returned together with the error; the
+// result is nil only for configuration or partitioning errors.
+func RunBaseAPSpAPContext(ctx context.Context, p *hotcold.Partition, input []byte, cfg ap.Config, opts Options) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	res, reports, err := runBaseAPMode(p, input, cfg, opts)
+	res, reports, err := runBaseAPMode(ctx, p, input, cfg, opts, nil)
 	if err != nil {
-		return nil, err
+		return finalize(res, cfg), err
 	}
-	if err := runSpAPMode(p, input, cfg, opts, res, reports); err != nil {
-		return nil, err
+	if err := runSpAPMode(ctx, p, input, cfg, opts, res, reports); err != nil {
+		return finalize(res, cfg), err
+	}
+	return finalize(res, cfg), nil
+}
+
+// finalize fills the derived totals; it tolerates a nil partial result.
+func finalize(res *Result, cfg ap.Config) *Result {
+	if res == nil {
+		return nil
 	}
 	res.TotalCycles = res.BaseAPCycles + res.SpAPCycles
+	if res.Guard != nil {
+		res.TotalCycles += res.Guard.WastedCycles + res.Guard.FallbackCycles
+	}
 	res.TimeNS = float64(res.TotalCycles) * cfg.CycleNS
-	return res, nil
+	return res
 }
 
 // runBaseAPMode executes the hot network in batches, separating final
-// reports from intermediate reports.
-func runBaseAPMode(p *hotcold.Partition, input []byte, cfg ap.Config, opts Options) (*Result, []IntermediateReport, error) {
+// reports from intermediate reports. A non-nil watchdog observes every
+// cycle and aborts the mode with errGuardTripped when its budget is
+// exceeded (see RunGuarded); ctx cancellation and injected
+// configuration-load failures abort it with the corresponding error. In
+// all abort cases the partial result is returned with BaseAPCycles
+// reflecting the symbols actually processed.
+func runBaseAPMode(ctx context.Context, p *hotcold.Partition, input []byte, cfg ap.Config, opts Options, wd *watchdog) (*Result, []IntermediateReport, error) {
 	hotBatches, err := ap.PartitionNFAs(p.Hot, cfg.Capacity)
 	if err != nil {
 		return nil, nil, fmt.Errorf("spap: hot network: %w", err)
@@ -115,7 +191,13 @@ func runBaseAPMode(p *hotcold.Partition, input []byte, cfg ap.Config, opts Optio
 		BaseAPCycles:  int64(len(hotBatches)) * int64(len(input)),
 		JumpRatio:     math.NaN(),
 	}
+	inj := opts.Faults
+	if err := loadConfigs(inj, &res.Fault, 0, len(hotBatches)); err != nil {
+		res.BaseAPCycles = 0
+		return res, nil, err
+	}
 	var inter []IntermediateReport
+	interSeen := int64(0) // generated intermediate reports, including dropped
 	eng := sim.NewEngine(p.Hot, sim.Options{})
 	eng.OnReport = func(pos int64, s automata.StateID) {
 		if orig := p.HotOrig[s]; orig != automata.None {
@@ -125,10 +207,40 @@ func runBaseAPMode(p *hotcold.Partition, input []byte, cfg ap.Config, opts Optio
 			}
 			return
 		}
+		idx := interSeen
+		interSeen++
+		if inj.DropReport(idx) {
+			res.Fault.DroppedReports++
+			return
+		}
 		inter = append(inter, IntermediateReport{Pos: pos, Target: p.Intermediate[s]})
 	}
+	active := inj.Active()
+	abort := func(processed int) (*Result, []IntermediateReport, error) {
+		res.BaseAPCycles = int64(len(hotBatches)) * int64(processed)
+		res.IntermediateReports = int64(len(inter))
+		return res, inter, nil
+	}
 	for i, b := range input {
+		if i&(cancelCheckInterval-1) == 0 && cancelled(ctx) {
+			r, in, _ := abort(i)
+			return r, in, ctx.Err()
+		}
+		if active {
+			if s, ok := inj.FlipAt(int64(i), p.Hot.Len()); ok {
+				eng.ToggleState(s)
+				res.Fault.Flips++
+			}
+		}
+		before := len(inter)
 		eng.Step(int64(i), b)
+		if wd != nil {
+			wd.observe(int64(i)+1, len(inter)-before, int64(len(inter)))
+			if wd.isTripped() {
+				r, in, _ := abort(i + 1)
+				return r, in, errGuardTripped
+			}
+		}
 	}
 	res.IntermediateReports = int64(len(inter))
 	// The engine emits reports in cycle order; within a cycle order is
@@ -138,20 +250,9 @@ func runBaseAPMode(p *hotcold.Partition, input []byte, cfg ap.Config, opts Optio
 	return res, inter, nil
 }
 
-// runSpAPMode executes the cold network in batches under Algorithm 1.
-func runSpAPMode(p *hotcold.Partition, input []byte, cfg ap.Config, opts Options, res *Result, inter []IntermediateReport) error {
-	if p.Cold.Len() == 0 {
-		return nil
-	}
-	coldBatches, err := ap.PartitionNFAs(p.Cold, cfg.Capacity)
-	if err != nil {
-		return fmt.Errorf("spap: cold network: %w", err)
-	}
-	res.ColdBatches = len(coldBatches)
-	if len(inter) == 0 {
-		return nil
-	}
-	// Route each report to the batch owning its target's cold NFA.
+// routeReports assigns each intermediate report to the cold batch owning
+// its target's cold NFA.
+func routeReports(p *hotcold.Partition, coldBatches []ap.Batch, inter []IntermediateReport) [][]IntermediateReport {
 	batchOfNFA := make([]int, p.Cold.NumNFAs())
 	for bi, b := range coldBatches {
 		for _, nfa := range b.NFAs {
@@ -164,17 +265,46 @@ func runSpAPMode(p *hotcold.Partition, input []byte, cfg ap.Config, opts Options
 		bi := batchOfNFA[p.Cold.NFAOf[cid]]
 		perBatch[bi] = append(perBatch[bi], r)
 	}
-	for _, reports := range perBatch {
+	return perBatch
+}
+
+// runSpAPMode executes the cold network in batches under Algorithm 1.
+func runSpAPMode(ctx context.Context, p *hotcold.Partition, input []byte, cfg ap.Config, opts Options, res *Result, inter []IntermediateReport) error {
+	if p.Cold.Len() == 0 {
+		return nil
+	}
+	coldBatches, err := ap.PartitionNFAs(p.Cold, cfg.Capacity)
+	if err != nil {
+		return fmt.Errorf("spap: cold network: %w", err)
+	}
+	res.ColdBatches = len(coldBatches)
+	if len(inter) == 0 {
+		return nil
+	}
+	perBatch := routeReports(p, coldBatches, inter)
+	for bi, reports := range perBatch {
 		if len(reports) == 0 {
 			continue
 		}
+		if cancelled(ctx) {
+			return ctx.Err()
+		}
+		// Cold batches share the global configuration-ID space with the
+		// BaseAP batches, and load lazily: a batch that receives no
+		// reports is never configured.
+		if err := loadConfigs(opts.Faults, &res.Fault, res.BaseAPBatches+bi, 1); err != nil {
+			return err
+		}
 		res.SpAPExecutions++
-		st := runSpAPBatch(p, input, reports, cfg, opts, res)
+		st, err := runSpAPBatch(ctx, p, input, reports, cfg, opts, res)
 		res.SpAPBatchCycles = append(res.SpAPBatchCycles, st.cycles)
 		res.SpAPCycles += st.cycles
 		res.SpAPProcessed += st.cycles - st.stalls
 		res.EnableStalls += st.stalls
 		res.QueueRefills += st.refills
+		if err != nil {
+			return err
+		}
 	}
 	if res.SpAPExecutions > 0 {
 		denom := float64(res.SpAPExecutions) * float64(len(input))
@@ -193,8 +323,9 @@ type batchStats struct {
 // runSpAPBatch is Algorithm 1. The whole cold network is simulated, driven
 // only by this batch's reports; because NFAs are independent, states
 // outside the batch are never enabled, so the result is identical to
-// simulating the batch alone.
-func runSpAPBatch(p *hotcold.Partition, input []byte, reports []IntermediateReport, cfg ap.Config, opts Options, res *Result) batchStats {
+// simulating the batch alone. Cancellation returns the stats accumulated
+// so far together with ctx.Err().
+func runSpAPBatch(ctx context.Context, p *hotcold.Partition, input []byte, reports []IntermediateReport, cfg ap.Config, opts Options, res *Result) (batchStats, error) {
 	eng := sim.NewEngine(p.Cold, sim.Options{})
 	eng.OnReport = func(pos int64, s automata.StateID) {
 		res.NumReports++
@@ -202,16 +333,28 @@ func runSpAPBatch(p *hotcold.Partition, input []byte, reports []IntermediateRepo
 			res.Reports = append(res.Reports, sim.Report{Pos: pos, State: p.ColdOrig[s]})
 		}
 	}
+	inj := opts.Faults
+	active := inj.Active()
 	var st batchStats
 	n := int64(len(input))
 	i := int64(0)
 	j := 0
 	for i < n {
+		if st.cycles&(cancelCheckInterval-1) == 0 && cancelled(ctx) {
+			st.cycles += st.stalls
+			return st, ctx.Err()
+		}
 		if eng.FrontierEmpty() {
 			if j >= len(reports) {
 				break
 			}
 			i = reports[j].Pos // jump operation
+		}
+		if active {
+			if s, ok := inj.FlipAt(i, p.Cold.Len()); ok {
+				eng.ToggleState(s)
+				res.Fault.Flips++
+			}
 		}
 		// Enable every report generated at this position. EnablePorts
 		// enables overlap with one symbol cycle; each additional full
@@ -234,7 +377,7 @@ func runSpAPBatch(p *hotcold.Partition, input []byte, reports []IntermediateRepo
 		i++
 	}
 	st.cycles += st.stalls
-	return st
+	return st, nil
 }
 
 // CPUModel is the cost model substituted for the paper's wall-clock CPU
@@ -258,12 +401,25 @@ func DefaultCPUModel() CPUModel {
 // CPU needs no capacity batching; it interprets the cold network from each
 // report position until the frontier dies.
 func RunAPCPU(p *hotcold.Partition, input []byte, cfg ap.Config, cpu CPUModel, opts Options) (*Result, error) {
+	return RunAPCPUContext(context.Background(), p, input, cfg, cpu, opts)
+}
+
+// RunAPCPUContext is RunAPCPU with cancellation; like
+// RunBaseAPSpAPContext it returns the partial result together with
+// ctx.Err() when cancelled. Injected faults apply to the AP side only
+// (flips, queue drops, configuration loads); the software interpreter is
+// modeled fault-free.
+func RunAPCPUContext(ctx context.Context, p *hotcold.Partition, input []byte, cfg ap.Config, cpu CPUModel, opts Options) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	res, inter, err := runBaseAPMode(p, input, cfg, opts)
+	res, inter, err := runBaseAPMode(ctx, p, input, cfg, opts, nil)
 	if err != nil {
-		return nil, err
+		if res != nil {
+			res.TotalCycles = res.BaseAPCycles
+			res.TimeNS = float64(res.BaseAPCycles) * cfg.CycleNS
+		}
+		return res, err
 	}
 	if len(inter) > 0 {
 		eng := sim.NewEngine(p.Cold, sim.Options{})
@@ -278,6 +434,10 @@ func RunAPCPU(p *hotcold.Partition, input []byte, cfg ap.Config, cpu CPUModel, o
 		i := int64(0)
 		j := 0
 		for i < n {
+			if processed&(cancelCheckInterval-1) == 0 && cancelled(ctx) {
+				err = ctx.Err()
+				break
+			}
 			if eng.FrontierEmpty() {
 				if j >= len(inter) {
 					break
@@ -292,9 +452,9 @@ func RunAPCPU(p *hotcold.Partition, input []byte, cfg ap.Config, cpu CPUModel, o
 			processed++
 			i++
 		}
-		res.CPUTimeNS = float64(len(inter))*cpu.DispatchNS + float64(processed)*cpu.SymbolNS
+		res.CPUTimeNS = float64(j)*cpu.DispatchNS + float64(processed)*cpu.SymbolNS
 	}
 	res.TotalCycles = res.BaseAPCycles
 	res.TimeNS = float64(res.BaseAPCycles)*cfg.CycleNS + res.CPUTimeNS
-	return res, nil
+	return res, err
 }

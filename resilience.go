@@ -1,0 +1,69 @@
+package sparseap
+
+// This file exposes the resilient-execution surface: context-aware
+// variants of the three execution systems, the adaptive guarded executor
+// that bounds the SpAP enable-stall pathology, and the deterministic
+// fault-injection framework with spare-STE repair.
+
+import (
+	"context"
+
+	"sparseap/internal/ap"
+	"sparseap/internal/fault"
+	"sparseap/internal/spap"
+)
+
+type (
+	// Guard configures the adaptive executor's report/stall budgets.
+	Guard = spap.Guard
+	// GuardStats records trips, retries, and fallbacks of a guarded run.
+	GuardStats = spap.GuardStats
+	// FaultPlan describes a seeded fault-injection campaign.
+	FaultPlan = fault.Plan
+	// FaultInjector makes a plan's deterministic runtime decisions.
+	FaultInjector = fault.Injector
+	// FaultStats counts the runtime faults an execution absorbed.
+	FaultStats = fault.Stats
+	// FaultInjection is a network with stuck-at faults applied, repairable
+	// by spare-STE remapping.
+	FaultInjection = fault.Injection
+)
+
+// DefaultGuard returns the suite-tuned guard budgets.
+func DefaultGuard() Guard { return spap.DefaultGuard() }
+
+// ParseFaultPlan parses the "kind=rate,..." fault-flag syntax (e.g.
+// "stuckoff=0.01,drop=0.05") into a plan with the given seed.
+func ParseFaultPlan(s string, seed int64) (FaultPlan, error) { return fault.ParsePlan(s, seed) }
+
+// NewFaultInjector returns the deterministic injector for a plan; assign
+// it to Engine.Faults to exercise runtime faults, or use its InjectStuck
+// method to apply compile-time stuck-at faults to a network.
+func NewFaultInjector(p FaultPlan) *FaultInjector { return fault.New(p) }
+
+// RunBaselineContext is RunBaseline with cancellation: it polls ctx and on
+// cancellation returns the partial result together with ctx.Err().
+func (e *Engine) RunBaselineContext(ctx context.Context, net *Network, input []byte) (*BaselineResult, error) {
+	return ap.RunBaselineContext(ctx, net, input, e.AP)
+}
+
+// RunBaseAPSpAPContext is RunBaseAPSpAP with cancellation: both execution
+// modes poll ctx and return the partial result with ctx.Err() within about
+// one batch of it firing.
+func (e *Engine) RunBaseAPSpAPContext(ctx context.Context, p *Partition, input []byte) (*ExecResult, error) {
+	return spap.RunBaseAPSpAPContext(ctx, p, input, e.AP, e.execOpts())
+}
+
+// RunAPCPUContext is RunAPCPU with cancellation.
+func (e *Engine) RunAPCPUContext(ctx context.Context, p *Partition, input []byte) (*ExecResult, error) {
+	return spap.RunAPCPUContext(ctx, p, input, e.AP, e.CPU, e.execOpts())
+}
+
+// RunGuarded executes a partition under the BaseAP/SpAP system with the
+// adaptive guard: a mid-run watchdog aborts storm-prone executions early,
+// retries with widened partition layers, and falls back to baseline
+// batched execution, bounding the regret of a bad partition while
+// preserving the report multiset. Result.Guard records what happened.
+func (e *Engine) RunGuarded(ctx context.Context, p *Partition, input []byte, g Guard) (*ExecResult, error) {
+	return spap.RunGuarded(ctx, p, input, e.AP, g, e.execOpts())
+}

@@ -5,8 +5,9 @@
 #   scripts/check.sh -short    # skip the race pass (quick pre-commit loop)
 #
 # Steps: gofmt, go vet, build, full test suite, race-detector pass over the
-# packages with real concurrency (the simulators), and the aplint sweep of
-# the generated workload suite.
+# packages with real concurrency (the simulators and fault injection), the
+# fault-injection smoke sweep, and the aplint sweep of the generated
+# workload suite.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,8 +32,33 @@ echo "== go test =="
 go test ./...
 
 if [[ $short -eq 0 ]]; then
-    echo "== go test -race (simulators) =="
-    go test -race ./internal/sim ./internal/spap
+    echo "== go test -race (simulators + fault injection) =="
+    go test -race ./internal/sim ./internal/spap ./internal/fault
+fi
+
+if [[ $short -eq 0 ]]; then
+    # Fault-injection smoke sweep: every (seed, fault kind, app) cell runs the
+    # guarded executor end to end at test scale. Stuck trials repair onto
+    # spare STEs and apsim itself fails on report divergence; drop trials
+    # must complete under the guard with losses accounted. A -timeout bounds
+    # each cell so a regression hangs the gate for at most a minute.
+    echo "== fault-injection smoke sweep =="
+    apsim_bin=$(mktemp -d)/apsim
+    trap 'rm -rf "$(dirname "$apsim_bin")"' EXIT
+    go build -o "$apsim_bin" ./cmd/apsim
+    for seed in 1 2 3; do
+        for spec in "stuckoff=0.02" "drop=0.05"; do
+            for app in Fermi HM PEN Snort; do
+                args=(-app "$app" -divisor 64 -input 8192 -capacity 375
+                      -system spap -guard -timeout 60s
+                      -fault "$spec" -faultseed "$seed" -nolint)
+                [[ "$spec" == stuckoff=* ]] && args+=(-repair)
+                "$apsim_bin" "${args[@]}" >/dev/null \
+                    || { echo "smoke sweep failed: app=$app fault=$spec seed=$seed" >&2; exit 1; }
+            done
+        done
+    done
+    echo "smoke sweep: 24 cells green"
 fi
 
 # Error-severity findings fail the gate; the suite's known warnings (see

@@ -122,12 +122,21 @@ func Speedup(baselineCycles, newCycles int64) float64 {
 type Engine struct {
 	AP  APConfig
 	CPU CPUModel
+	// Faults, when non-nil, injects runtime faults into every execution
+	// the engine runs (see NewFaultInjector); Result.Fault reports what
+	// was applied.
+	Faults *FaultInjector
 }
 
 // NewEngine returns an engine for the given AP configuration with the
 // default CPU cost model.
 func NewEngine(cfg APConfig) *Engine {
 	return &Engine{AP: cfg, CPU: spap.DefaultCPUModel()}
+}
+
+// execOpts is the execution configuration every Engine run shares.
+func (e *Engine) execOpts() spap.Options {
+	return spap.Options{CollectReports: true, Faults: e.Faults}
 }
 
 // RunBaseline executes the baseline batched AP system: NFA-granularity
@@ -145,13 +154,13 @@ func (e *Engine) Partition(net *Network, profInput []byte) (*Partition, error) {
 // RunBaseAPSpAP executes a partition under the BaseAP/SpAP system and
 // collects the final reports.
 func (e *Engine) RunBaseAPSpAP(p *Partition, input []byte) (*ExecResult, error) {
-	return spap.RunBaseAPSpAP(p, input, e.AP, spap.Options{CollectReports: true})
+	return spap.RunBaseAPSpAP(p, input, e.AP, e.execOpts())
 }
 
 // RunAPCPU executes a partition under the AP–CPU system (mis-prediction
 // handling on a modeled CPU) and collects the final reports.
 func (e *Engine) RunAPCPU(p *Partition, input []byte) (*ExecResult, error) {
-	return spap.RunAPCPU(p, input, e.AP, e.CPU, spap.Options{CollectReports: true})
+	return spap.RunAPCPU(p, input, e.AP, e.CPU, e.execOpts())
 }
 
 // Analyze returns summary statistics used across the paper's
@@ -177,12 +186,16 @@ func Analyze(net *Network, input []byte) Analysis {
 		}
 	}
 	hot := sim.HotStates(net, input).Count()
+	hotFrac := 0.0
+	if st.States > 0 {
+		hotFrac = float64(hot) / float64(st.States)
+	}
 	return Analysis{
 		States:    st.States,
 		NFAs:      st.NFAs,
 		Reporting: st.Reporting,
 		MaxTopo:   maxTopo,
 		Hot:       hot,
-		HotFrac:   float64(hot) / float64(st.States),
+		HotFrac:   hotFrac,
 	}
 }
