@@ -9,6 +9,17 @@
 // The defaults run the 1/8-scaled configuration described in DESIGN.md:
 // 24K-STE half-core → 3K, 1 MiB input → 128 KiB, Table II NFA counts ÷ 8.
 // Use -divisor 1 -input 1048576 -capacity 24000 for a full-size run.
+//
+// Throughput mode:
+//
+//	apbench -json [-apps all|PEN,Snort,...] [-benchtime 1s] [-out BENCH_sim.json] \
+//	        [-check] [-tolerance 0.20] [-divisor 8] [-input 131072] [-seed 1]
+//
+// benchmarks the simulator's step kernels (sparse walk, dense pass,
+// adaptive) per application and writes MB/s, ns/symbol, and allocs/op to
+// -out. With -check it exits nonzero if the adaptive kernel is more than
+// -tolerance slower than the sparse walk on any selected app — a
+// machine-independent regression gate CI runs on the PEN/Snort benches.
 package main
 
 import (
@@ -16,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"testing"
 	"time"
 
 	"sparseap/internal/ap"
@@ -56,10 +68,25 @@ func main() {
 		inputLen = flag.Int("input", 131072, "input stream length in bytes")
 		capacity = flag.Int("capacity", 3000, "AP half-core capacity in STEs")
 		seed     = flag.Int64("seed", 1, "generation seed")
+
+		jsonFlag  = flag.Bool("json", false, "throughput mode: benchmark step kernels per app, write JSON")
+		appsFlag  = flag.String("apps", "all", "throughput mode: comma-separated apps, or 'all'")
+		outFlag   = flag.String("out", "BENCH_sim.json", "throughput mode: output path")
+		benchtime = flag.String("benchtime", "1s", "throughput mode: time (or Nx iterations) per measurement")
+		checkFlag = flag.Bool("check", false, "throughput mode: fail if the adaptive kernel regresses vs the sparse walk")
+		tolerance = flag.Float64("tolerance", 0.20, "throughput mode: allowed adaptive-vs-sparse slowdown for -check")
 	)
+	testing.Init() // registers test.benchtime before Parse; throughput mode sets it
 	flag.Parse()
 
 	wl := workloads.Config{InputLen: *inputLen, Divisor: *divisor, Seed: *seed}
+	if *jsonFlag {
+		if err := runThroughput(wl, *appsFlag, *outFlag, *benchtime, *checkFlag, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "apbench -json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	apCfg := ap.DefaultConfig().WithCapacity(*capacity)
 	suite := exp.NewSuite(wl, apCfg)
 

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"sparseap/internal/sim"
+	"sparseap/internal/workloads"
+)
+
+// Throughput mode (-json): per-application simulator microbenchmarks over
+// the three step kernels, written as BENCH_sim.json so the repository
+// carries a measured perf trajectory. Measurements use testing.Benchmark
+// on a pooled engine — the same steady state the paper's streaming model
+// assumes — so allocs/op is expected to be 0.
+
+// kernelStats is one (app, kernel) measurement.
+type kernelStats struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerSymbol float64 `json:"ns_per_symbol"`
+	MBPerSec    float64 `json:"mb_per_s"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// appBench aggregates one application's measurements.
+type appBench struct {
+	App          string                 `json:"app"`
+	Name         string                 `json:"name"`
+	States       int                    `json:"states"`
+	NFAs         int                    `json:"nfas"`
+	InputLen     int                    `json:"input_len"`
+	Reports      int64                  `json:"reports"`
+	DenseStepPct float64                `json:"dense_step_pct"` // share of cycles the auto kernel ran dense
+	Kernels      map[string]kernelStats `json:"kernels"`
+}
+
+// benchFile is the BENCH_sim.json schema.
+type benchFile struct {
+	Config struct {
+		Divisor   int    `json:"divisor"`
+		InputLen  int    `json:"input_len"`
+		Seed      int64  `json:"seed"`
+		Benchtime string `json:"benchtime"`
+		Go        string `json:"go"`
+	} `json:"config"`
+	Apps []appBench `json:"apps"`
+}
+
+var benchKernels = []sim.Kernel{sim.KernelSparse, sim.KernelDense, sim.KernelAuto}
+
+// runThroughput executes the -json mode and returns an error on failure
+// (including a -check regression).
+func runThroughput(cfg workloads.Config, appsFlag, outPath, benchtime string, check bool, tolerance float64) error {
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return fmt.Errorf("bad -benchtime: %w", err)
+	}
+	names := workloads.Names()
+	if appsFlag != "all" {
+		names = nil
+		for _, n := range strings.Split(appsFlag, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+	var out benchFile
+	out.Config.Divisor = cfg.Divisor
+	out.Config.InputLen = cfg.InputLen
+	out.Config.Seed = cfg.Seed
+	out.Config.Benchtime = benchtime
+	out.Config.Go = runtime.Version()
+	var failures []string
+	for _, name := range names {
+		app, err := workloads.Build(name, cfg)
+		if err != nil {
+			return err
+		}
+		row := appBench{
+			App:      app.Abbr,
+			Name:     app.Name,
+			States:   app.Net.Len(),
+			NFAs:     app.Net.NumNFAs(),
+			InputLen: len(app.Input),
+			Kernels:  make(map[string]kernelStats, len(benchKernels)),
+		}
+		// One instrumented pass for report count and the auto kernel's
+		// dense-cycle share.
+		eng := sim.AcquireEngine(app.Net, sim.Options{})
+		for i, b := range app.Input {
+			eng.Step(int64(i), b)
+		}
+		row.Reports = eng.NumReports()
+		if total := eng.DenseSteps() + eng.SparseSteps(); total > 0 {
+			row.DenseStepPct = 100 * float64(eng.DenseSteps()) / float64(total)
+		}
+		eng.Release()
+		for _, k := range benchKernels {
+			row.Kernels[k.String()] = measureKernel(app, k)
+		}
+		auto, sparse := row.Kernels[sim.KernelAuto.String()], row.Kernels[sim.KernelSparse.String()]
+		verdict := ""
+		if check && auto.NsPerSymbol > sparse.NsPerSymbol*(1+tolerance) {
+			verdict = "  REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("%s: auto %.2f ns/sym vs sparse %.2f ns/sym (tolerance %.0f%%)",
+					app.Abbr, auto.NsPerSymbol, sparse.NsPerSymbol, 100*tolerance))
+		}
+		fmt.Printf("%-6s %7d states  sparse %8.2f ns/sym  dense %8.2f ns/sym  auto %8.2f ns/sym (%5.1f%% dense, %.1f MB/s)%s\n",
+			app.Abbr, row.States,
+			sparse.NsPerSymbol, row.Kernels[sim.KernelDense.String()].NsPerSymbol,
+			auto.NsPerSymbol, row.DenseStepPct, auto.MBPerSec, verdict)
+		out.Apps = append(out.Apps, row)
+	}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d apps)\n", outPath, len(out.Apps))
+	if len(failures) > 0 {
+		return fmt.Errorf("adaptive kernel regressed beyond tolerance:\n  %s",
+			strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// measureKernel benchmarks one (app, kernel) cell on a pooled engine in
+// steady state (Reset + full input per iteration).
+func measureKernel(app *workloads.App, k sim.Kernel) kernelStats {
+	eng := sim.AcquireEngine(app.Net, sim.Options{Kernel: k})
+	defer eng.Release()
+	input := app.Input
+	r := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(len(input)))
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			eng.Reset()
+			for i, c := range input {
+				eng.Step(int64(i), c)
+			}
+		}
+	})
+	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	return kernelStats{
+		NsPerOp:     nsPerOp,
+		NsPerSymbol: nsPerOp / float64(len(input)),
+		MBPerSec:    float64(len(input)) / 1e6 / (nsPerOp / 1e9),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}

@@ -15,6 +15,7 @@ package automata
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"sparseap/internal/symset"
 )
@@ -221,6 +222,39 @@ type Network struct {
 	Offsets []StateID
 
 	preds [][]StateID // lazily built by Preds
+
+	// exec caches a compiled execution image derived from this network.
+	// The slot is opaque here — it is owned by internal/sim, which stores
+	// its flattened CSR image through ExecImage/StoreExecImage so every
+	// engine over the same network shares one read-only compilation. The
+	// slot is atomic because simulators compile lazily from concurrent
+	// worker goroutines; it is cleared on any structural mutation
+	// (Append, InvalidateCaches).
+	exec atomic.Pointer[execBox]
+}
+
+// execBox wraps the cached execution image so the atomic slot can hold
+// any concrete type (and distinguish "cleared" from "stored nil").
+type execBox struct{ v any }
+
+// ExecImage returns the cached compiled execution image, or nil if none
+// has been stored since the last structural mutation.
+func (n *Network) ExecImage() any {
+	if b := n.exec.Load(); b != nil {
+		return b.v
+	}
+	return nil
+}
+
+// StoreExecImage publishes a compiled execution image for this network.
+// Concurrent stores are permitted (last one wins); callers must only
+// store images compiled from the network's current structure.
+func (n *Network) StoreExecImage(v any) {
+	if v == nil {
+		n.exec.Store(nil)
+		return
+	}
+	n.exec.Store(&execBox{v: v})
 }
 
 // NewNetwork flattens the given NFAs into a Network. Local successor IDs
@@ -260,6 +294,7 @@ func (n *Network) Append(m *NFA) int {
 	}
 	n.Offsets = append(n.Offsets, StateID(len(n.States)))
 	n.preds = nil
+	n.exec.Store(nil)
 	return idx
 }
 
@@ -312,7 +347,10 @@ func (n *Network) Preds() [][]StateID {
 }
 
 // InvalidateCaches drops derived data (predecessors) after a mutation.
-func (n *Network) InvalidateCaches() { n.preds = nil }
+func (n *Network) InvalidateCaches() {
+	n.preds = nil
+	n.exec.Store(nil)
+}
 
 // StructuralProblems returns every structural invariant violation of the
 // network: emptiness, inconsistent Offsets/NFAOf bookkeeping, out-of-range

@@ -166,7 +166,8 @@ func dropTrial(a *AppData, s *Suite, cfg ap.Config, seed int64) (FaultTrial, err
 // million-report streams compare without being materialized.
 func reportHash(net *automata.Network, input []byte) uint64 {
 	h := uint64(1469598103934665603)
-	e := sim.NewEngine(net, sim.Options{})
+	e := sim.AcquireEngine(net, sim.Options{})
+	defer e.Release()
 	e.OnReport = func(pos int64, st automata.StateID) {
 		h = (h * 1099511628211) ^ uint64(pos)<<21 ^ uint64(st)
 	}

@@ -1,0 +1,240 @@
+// Compiled network images.
+//
+// The Engine does not walk automata.Network directly: per-frontier-state
+// work there costs a pointer chase into a 70-odd-byte State struct, a
+// symset method call, and a second random access per successor to check
+// the target's start kind. Compile flattens everything the hot loop needs
+// into a handful of contiguous arrays — CSR successor lists, state-major
+// match words, per-symbol transposed match/start bitmaps, and report/start
+// flag words — built once per Network and shared read-only by every engine
+// over it (serial runs, parallel chunk workers, spap's hot and cold
+// executors, profiling).
+//
+// The image also owns the engine pool: engines are keyed by network
+// identity through the image they were built for, so steady-state
+// execution (parallel chunks, repeated profiling, spap batches) allocates
+// nothing.
+package sim
+
+import (
+	"math/bits"
+	"sync"
+
+	"sparseap/internal/automata"
+)
+
+// Dense-kernel crossover defaults (see DESIGN.md §8). A dense step costs
+// O(words) = O(n/64) regardless of frontier size; a sparse step costs
+// O(frontier) with a comparable per-state constant (one scattered
+// match-word load per frontier state vs. three sequential word loads per
+// 64-state word). Measured on the 26-app suite, workloads with mean
+// frontier ≤ 0.8× words run faster sparse (PEN, ER, the DS family) and
+// workloads at ≥ 2.6× words run faster dense (HM, Brill, Pro, LV, RF*),
+// so the default cut is 2× words — the frontier walk must be visiting
+// more states than twice the word count the dense pass would scan. The
+// floor keeps tiny frontiers on the sparse walk even for sub-1024-state
+// networks where a word scan is nearly free.
+const (
+	denseWordsFactor = 2
+	minDenseCut      = 16
+)
+
+// Image is the compiled, read-only execution layout of a Network. All
+// fields are immutable after Compile; one image is shared by any number
+// of concurrent engines.
+type Image struct {
+	net   *automata.Network
+	n     int // number of states
+	words int // ceil(n/64): length of every state-indexed bitmap
+
+	// CSR successor arrays: successors of state s are
+	// succ[succOff[s]:succOff[s+1]]. Edges into all-input start states
+	// are filtered out at compile time (such states are enabled every
+	// cycle and never tracked in the frontier), so the scatter loop
+	// needs no per-target start-kind check.
+	succOff []uint32
+	succ    []automata.StateID
+
+	// match holds the 256-bit symbol set of each state as 4 contiguous
+	// words: state s matches symbol b iff
+	// match[s*4+b/64] has bit b%64 set. State-major so the sparse walk
+	// touches one cache line per frontier state.
+	match []uint64
+
+	// symMask[b] is the transpose of match: bit s of word s/64 is set
+	// iff state s matches symbol b. The dense kernel ANDs it against
+	// the frontier bitmap to activate 64 states per instruction.
+	symMask [256][]uint64
+	// startMask[b] marks the all-input start states activated by symbol
+	// b (the dense-kernel counterpart of startAct). All 256 rows alias
+	// one zero row when the network has no all-input starts.
+	startMask [256][]uint64
+
+	// report and allInput flag words: bit s set iff state s reports /
+	// is an all-input start.
+	report   []uint64
+	allInput []uint64
+
+	// startAct[b] lists, in ascending state order, the all-input start
+	// states activated by symbol b (the sparse kernel's counterpart of
+	// startMask).
+	startAct [256][]automata.StateID
+	// allInputHot lists all-input starts with a non-empty symbol set;
+	// they are enabled every cycle, hence ever-enabled by definition.
+	allInputHot []automata.StateID
+	// startsOfData lists start-of-data states (enabled at position 0).
+	startsOfData []automata.StateID
+	hasAllInput  bool
+
+	// denseCut is the default frontier length at which KernelAuto
+	// switches from the sparse walk to the dense pass.
+	denseCut int
+
+	// pool recycles engines built over this image.
+	pool sync.Pool
+}
+
+// Compile flattens net into an execution image. The image references the
+// network's structure as of this call; mutate the network only through
+// paths that clear the cache (Append, InvalidateCaches) or on a Clone.
+func Compile(net *automata.Network) *Image {
+	n := net.Len()
+	words := (n + 63) / 64
+	img := &Image{
+		net:     net,
+		n:       n,
+		words:   words,
+		succOff: make([]uint32, n+1),
+		match:   make([]uint64, 4*n),
+		report:  make([]uint64, words),
+	}
+	img.allInput = make([]uint64, words)
+
+	edges := 0
+	for s := range net.States {
+		st := &net.States[s]
+		copy(img.match[4*s:4*s+4], st.Match[:])
+		bit := uint64(1) << (uint(s) & 63)
+		if st.Report {
+			img.report[s>>6] |= bit
+		}
+		switch st.Start {
+		case automata.StartAllInput:
+			img.hasAllInput = true
+			img.allInput[s>>6] |= bit
+		case automata.StartOfData:
+			img.startsOfData = append(img.startsOfData, automata.StateID(s))
+		}
+		for _, v := range st.Succ {
+			if net.States[v].Start != automata.StartAllInput {
+				edges++
+			}
+		}
+	}
+
+	img.succ = make([]automata.StateID, 0, edges)
+	for s := range net.States {
+		img.succOff[s] = uint32(len(img.succ))
+		for _, v := range net.States[s].Succ {
+			if net.States[v].Start != automata.StartAllInput {
+				img.succ = append(img.succ, v)
+			}
+		}
+	}
+	img.succOff[n] = uint32(len(img.succ))
+
+	// Transpose the match matrix into per-symbol bitmaps. One backing
+	// array keeps the 256 rows contiguous.
+	symBacking := make([]uint64, 256*words)
+	for b := 0; b < 256; b++ {
+		img.symMask[b] = symBacking[b*words : (b+1)*words : (b+1)*words]
+	}
+	for s := 0; s < n; s++ {
+		sw, sb := s>>6, uint64(1)<<(uint(s)&63)
+		for w := 0; w < 4; w++ {
+			word := img.match[4*s+w]
+			for word != 0 {
+				b := w<<6 | bits.TrailingZeros64(word)
+				word &= word - 1
+				img.symMask[b][sw] |= sb
+			}
+		}
+	}
+
+	zeroRow := make([]uint64, words)
+	for b := range img.startMask {
+		img.startMask[b] = zeroRow
+	}
+	if img.hasAllInput {
+		startBacking := make([]uint64, 256*words)
+		for b := 0; b < 256; b++ {
+			img.startMask[b] = startBacking[b*words : (b+1)*words : (b+1)*words]
+		}
+		for s := 0; s < n; s++ {
+			if net.States[s].Start != automata.StartAllInput {
+				continue
+			}
+			sw, sb := s>>6, uint64(1)<<(uint(s)&63)
+			empty := true
+			for w := 0; w < 4; w++ {
+				word := img.match[4*s+w]
+				if word != 0 {
+					empty = false
+				}
+				for word != 0 {
+					b := w<<6 | bits.TrailingZeros64(word)
+					word &= word - 1
+					img.startAct[b] = append(img.startAct[b], automata.StateID(s))
+					img.startMask[b][sw] |= sb
+				}
+			}
+			if !empty {
+				img.allInputHot = append(img.allInputHot, automata.StateID(s))
+			}
+		}
+	}
+
+	img.denseCut = denseWordsFactor * img.words
+	if img.denseCut < minDenseCut {
+		img.denseCut = minDenseCut
+	}
+	return img
+}
+
+// ImageOf returns net's cached execution image, compiling and caching it
+// on first use. Safe for concurrent callers: a rare duplicate compile is
+// benign (both images are equivalent and read-only; last store wins).
+func ImageOf(net *automata.Network) *Image {
+	if img, ok := net.ExecImage().(*Image); ok && img != nil && img.n == net.Len() {
+		return img
+	}
+	img := Compile(net)
+	net.StoreExecImage(img)
+	return img
+}
+
+// Acquire returns a pooled engine over the image, reset and configured
+// with opts. Release it when done to make its buffers reusable; engines
+// never escape to a different image's pool.
+func (img *Image) Acquire(opts Options) *Engine {
+	e, _ := img.pool.Get().(*Engine)
+	if e == nil {
+		e = newEngine(img)
+	}
+	e.configure(opts)
+	return e
+}
+
+// AcquireEngine returns a pooled engine for net (compiling the shared
+// image on first use). The caller must not use the engine, or any slice
+// obtained from it (Reports, EverEnabled), after Release.
+func AcquireEngine(net *automata.Network, opts Options) *Engine {
+	return ImageOf(net).Acquire(opts)
+}
+
+// Release returns the engine to its image's pool. The engine, and any
+// slice previously obtained from it, must not be used afterwards.
+func (e *Engine) Release() {
+	e.OnReport = nil
+	e.img.pool.Put(e)
+}

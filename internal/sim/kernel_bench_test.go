@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// benchAlpha is the alphabet size both benchmark topologies use.
+const benchAlpha = 64
+
+// denseBenchNet builds the dense-frontier regime the hot fragments of
+// SpAP partitioning create: one all-input hub per alphabet symbol fans
+// out to every leaf, so each cycle re-enables the whole leaf population
+// (frontier ≈ n) while only 1/benchAlpha of it activates. The sparse walk
+// pays a match test per enabled leaf; the dense pass covers 64 of them
+// per word op.
+func denseBenchNet(leaves int) *automata.Network {
+	m := automata.NewNFA()
+	hubs := make([]automata.StateID, benchAlpha)
+	for i := range hubs {
+		hubs[i] = m.Add(symset.Single(byte(i)), automata.StartAllInput, false)
+	}
+	for l := 0; l < leaves; l++ {
+		leaf := m.Add(symset.Single(byte(l%benchAlpha)), automata.StartNone, l%997 == 0)
+		for _, h := range hubs {
+			m.Connect(h, leaf)
+		}
+	}
+	return automata.NewNetwork(m)
+}
+
+// sparseBenchNet builds the cold regime the paper's Table I workloads
+// live in: many independent chains whose starts each match one rare
+// symbol, so only a handful of states are ever enabled per cycle.
+func sparseBenchNet(chains, depth int) *automata.Network {
+	ms := make([]*automata.NFA, chains)
+	for c := range ms {
+		m := automata.NewNFA()
+		prev := m.Add(symset.Single(byte(c%benchAlpha)), automata.StartAllInput, false)
+		for d := 1; d < depth; d++ {
+			nxt := m.Add(symset.Single(byte((c+d)%benchAlpha)), automata.StartNone, d == depth-1)
+			m.Connect(prev, nxt)
+			prev = nxt
+		}
+		ms[c] = m
+	}
+	return automata.NewNetwork(ms...)
+}
+
+func benchInput(n int, seed int64) []byte {
+	r := rand.New(rand.NewSource(seed))
+	input := make([]byte, n)
+	for i := range input {
+		input[i] = byte(r.Intn(benchAlpha))
+	}
+	return input
+}
+
+func benchKernel(b *testing.B, net *automata.Network, input []byte, k Kernel) {
+	e := AcquireEngine(net, Options{Kernel: k})
+	defer e.Release()
+	b.SetBytes(int64(len(input)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		e.Reset()
+		for i, c := range input {
+			e.Step(int64(i), c)
+		}
+	}
+}
+
+// BenchmarkDenseFrontier is the direction-optimizing win case: frontier ≈
+// 8k states every cycle, ~1.5% of them activating. KernelDense/KernelAuto
+// should beat KernelSparse by well over 2x (see DESIGN.md §8).
+func BenchmarkDenseFrontier(b *testing.B) {
+	net := denseBenchNet(8192)
+	input := benchInput(2048, 1)
+	for _, k := range []Kernel{KernelSparse, KernelDense, KernelAuto} {
+		b.Run(k.String(), func(b *testing.B) { benchKernel(b, net, input, k) })
+	}
+}
+
+// BenchmarkSparseFrontier is the regime the adaptive kernel must not
+// regress: frontier of ~10 states in a 4k-state network, far below the
+// dense threshold, so KernelAuto must track KernelSparse within noise.
+func BenchmarkSparseFrontier(b *testing.B) {
+	net := sparseBenchNet(512, 8)
+	input := benchInput(1<<15, 2)
+	for _, k := range []Kernel{KernelSparse, KernelDense, KernelAuto} {
+		b.Run(k.String(), func(b *testing.B) { benchKernel(b, net, input, k) })
+	}
+}
+
+// BenchmarkParallelRun measures the pooled chunk runtime end to end;
+// allocs/op is the interesting column (steady state reuses pooled
+// engines, and the k-way merge replaced the global sort).
+func BenchmarkParallelRun(b *testing.B) {
+	net := sparseBenchNet(512, 8)
+	input := benchInput(1<<16, 3)
+	if _, err := ParallelRun(net, input, ParallelOptions{Workers: 4}); err != nil {
+		b.Fatal(err) // also warms the engine pool
+	}
+	b.SetBytes(int64(len(input)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := ParallelRun(net, input, ParallelOptions{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotStates measures the profiling primitive on a pooled engine.
+func BenchmarkHotStates(b *testing.B) {
+	net := sparseBenchNet(512, 8)
+	input := benchInput(1<<15, 4)
+	b.SetBytes(int64(len(input)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		HotStates(net, input)
+	}
+}

@@ -3,7 +3,6 @@ package sim
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 
 	"sparseap/internal/automata"
@@ -23,6 +22,12 @@ import (
 // supplies an explicit overlap and accepts the approximation (the
 // hardware proposal solves this with connected-component enumeration
 // instead).
+//
+// The runtime is allocation-free in steady state: chunk workers run
+// pooled engines whose frontier and report buffers persist across calls,
+// and because each engine collects its chunk's reports already sorted by
+// (Pos, State) over a disjoint position range, the final ordering is a
+// k-way merge (usually pure concatenation) rather than a global sort.
 
 // ParallelOptions configures ParallelRun.
 type ParallelOptions struct {
@@ -62,25 +67,7 @@ func ParallelRunContext(ctx context.Context, net *automata.Network, input []byte
 		workers = 4
 	}
 	topo := graph.TopoOrder(net)
-	cyclic := false
-	for c, size := range topo.SCC.Size {
-		if size > 1 {
-			cyclic = true
-			break
-		}
-		_ = c
-	}
-	if !cyclic { // self-loops are SCCs of size 1; detect them separately
-	selfLoop:
-		for u := range net.States {
-			for _, v := range net.States[u].Succ {
-				if int(v) == u {
-					cyclic = true
-					break selfLoop
-				}
-			}
-		}
-	}
+	cyclic := topo.SCC.HasCycle(net)
 	overlap := opts.Overlap
 	if overlap == 0 {
 		if cyclic && !opts.AllowCycles {
@@ -104,8 +91,9 @@ func ParallelRunContext(ctx context.Context, net *automata.Network, input []byte
 		res, err := RunContext(ctx, net, input, Options{CollectReports: true})
 		return res.Reports, err
 	}
+	img := ImageOf(net) // compile once, before the workers race to it
 	chunk := (len(input) + workers - 1) / workers
-	results := make([][]Report, workers)
+	engines := make([]*Engine, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		start := w * chunk
@@ -123,45 +111,94 @@ func ParallelRunContext(ctx context.Context, net *automata.Network, input []byte
 			if warm < 0 {
 				warm = 0
 			}
-			eng := NewEngine(net, Options{})
-			var out []Report
-			eng.OnReport = func(pos int64, s automata.StateID) {
-				if pos >= int64(start) {
-					out = append(out, Report{Pos: pos, State: s})
-				}
-			}
-			for i := warm; i < end; i++ {
+			eng := img.Acquire(Options{CollectReports: true})
+			engines[w] = eng
+			for i := warm; i < start; i++ {
 				if i&(cancelCheckInterval-1) == 0 && cancelled(ctx) {
-					break
+					return
 				}
 				eng.Step(int64(i), input[i])
 			}
-			results[w] = out
+			eng.ClearReports() // warm-up reports belong to the previous chunk
+			for i := start; i < end; i++ {
+				if i&(cancelCheckInterval-1) == 0 && cancelled(ctx) {
+					return
+				}
+				eng.Step(int64(i), input[i])
+			}
 		}(w, start, end)
 	}
 	wg.Wait()
+	chunks := make([][]Report, 0, workers)
+	for _, eng := range engines {
+		if eng != nil {
+			chunks = append(chunks, eng.Reports())
+		}
+	}
+	all := mergeSortedReports(chunks)
+	for _, eng := range engines {
+		if eng != nil {
+			eng.Release()
+		}
+	}
 	if cancelled(ctx) {
-		var partial []Report
-		for _, r := range results {
-			partial = append(partial, r...)
-		}
-		sort.Slice(partial, func(a, b int) bool {
-			if partial[a].Pos != partial[b].Pos {
-				return partial[a].Pos < partial[b].Pos
-			}
-			return partial[a].State < partial[b].State
-		})
-		return partial, ctx.Err()
+		return all, ctx.Err()
 	}
-	var all []Report
-	for _, r := range results {
-		all = append(all, r...)
-	}
-	sort.Slice(all, func(a, b int) bool {
-		if all[a].Pos != all[b].Pos {
-			return all[a].Pos < all[b].Pos
-		}
-		return all[a].State < all[b].State
-	})
 	return all, nil
+}
+
+// reportLess orders reports by (Pos, State) — the canonical stream order.
+func reportLess(a, b Report) bool {
+	return a.Pos < b.Pos || (a.Pos == b.Pos && a.State < b.State)
+}
+
+// mergeSortedReports merges per-chunk report slices — each already sorted
+// by (Pos, State), courtesy of the engine's canonical per-cycle order —
+// into one sorted slice. Chunks cover disjoint ascending position ranges,
+// so the common case degenerates to concatenation; a k-way merge handles
+// any overlap. The inputs are not modified.
+func mergeSortedReports(chunks [][]Report) []Report {
+	var parts [][]Report
+	total := 0
+	for _, c := range chunks {
+		if len(c) > 0 {
+			parts = append(parts, c)
+			total += len(c)
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Report, 0, total)
+	ordered := true
+	for i := 1; i < len(parts); i++ {
+		last := parts[i-1][len(parts[i-1])-1]
+		if reportLess(parts[i][0], last) {
+			ordered = false
+			break
+		}
+	}
+	if ordered {
+		for _, c := range parts {
+			out = append(out, c...)
+		}
+		return out
+	}
+	// General k-way merge; k is the worker count, so a linear head scan
+	// beats heap bookkeeping.
+	idx := make([]int, len(parts))
+	for len(out) < total {
+		best := -1
+		for i, c := range parts {
+			if idx[i] >= len(c) {
+				continue
+			}
+			if best < 0 || reportLess(c[idx[i]], parts[best][idx[best]]) {
+				best = i
+			}
+		}
+		out = append(out, parts[best][idx[best]])
+		idx[best]++
+	}
+	return out
 }

@@ -7,15 +7,24 @@
 // states are *enabled* for the next cycle. All-input start states are
 // enabled every cycle; start-of-data start states only at position 0.
 //
-// The Engine keeps the dynamically enabled states as a sparse frontier and
-// precomputes, per input symbol, the list of all-input start states that
-// symbol activates — so per-cycle cost is proportional to the frontier, not
-// the network (critical for networks with 10^5 states, of which most are
-// cold).
+// The hot path is a direction-optimizing kernel over a compiled network
+// image (see compile.go): while the frontier is small, a sparse walk costs
+// O(frontier) with contiguous match-word loads; when it crosses an adaptive
+// threshold, a word-parallel dense pass ANDs the frontier bitmap against
+// the symbol's transposed match bitmap, activating 64 states per
+// instruction — the same sparse/dense switch direction-optimizing BFS
+// applies to its frontier. Either way, per-cycle cost tracks the enabled
+// set, never the network (critical for networks with 10^5 states, of which
+// most are cold).
+//
+// Reports within a cycle are emitted in canonical ascending-state order,
+// so every kernel — sparse, dense, adaptive, and the chunked parallel
+// runner — produces bit-identical report streams.
 package sim
 
 import (
 	"context"
+	"math/bits"
 
 	"sparseap/internal/automata"
 	"sparseap/internal/bitvec"
@@ -44,24 +53,72 @@ type Report struct {
 	State automata.StateID
 }
 
+// Kernel selects the per-cycle step strategy.
+type Kernel int
+
+const (
+	// KernelAuto switches per cycle: sparse walk below the dense
+	// threshold, word-parallel dense pass at or above it. The default.
+	KernelAuto Kernel = iota
+	// KernelSparse always walks the frontier list.
+	KernelSparse
+	// KernelDense always runs the word-parallel bitmap pass.
+	KernelDense
+)
+
+// String names the kernel.
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelSparse:
+		return "sparse"
+	case KernelDense:
+		return "dense"
+	}
+	return "unknown"
+}
+
 // Engine executes a network over an input stream one symbol per Step.
+// Engines are built over a shared read-only Image; all mutable state is
+// engine-local, so any number of engines may run concurrently over one
+// network. Engine.Step performs no allocation in steady state (after the
+// frontier and report buffers have grown to their working size).
 type Engine struct {
-	net *automata.Network
+	img *Image
 
-	// startAct[b] lists all-input start states activated by symbol b.
-	startAct [256][]automata.StateID
+	// The frontier's authoritative representation is the bitmap cur plus
+	// the population count curLen; the sparse list frontier is a cache of
+	// it, valid only when curListValid. A sparse pass builds next-cycle
+	// lists eagerly (buildNext) so steady-state sparse walks never scan
+	// the bitmap; a dense pass skips list maintenance entirely — enabling
+	// a state is then one bit-set — and the list is materialized from the
+	// bitmap only when the kernel switches back to sparse.
+	frontier     []automata.StateID
+	cur          []uint64
+	curLen       int
+	curListValid bool
+	next         []automata.StateID
+	nxt          []uint64
+	nxtLen       int
+	buildNext    bool
 
-	frontier []automata.StateID // states enabled for the next Step
-	inCur    *bitvec.Vec        // membership bitmap for frontier
-	next     []automata.StateID
-	inNext   *bitvec.Vec
+	ever    *bitvec.Vec // ever-enabled set (nil unless tracking)
+	everBuf *bitvec.Vec // retained across pooled reuse
 
-	ever          *bitvec.Vec // ever-enabled set (nil unless tracking)
-	startsOfData  []automata.StateID
-	hasAllInput   bool
+	kernel   Kernel
+	denseCut int
+
 	reportsWanted bool
 	reports       []Report
-	numReports    int64
+	// repBuf collects the reporting states activated in the current
+	// cycle; finishStep sorts it (canonical ascending-state order) and
+	// flushes it to reports / OnReport.
+	repBuf     []automata.StateID
+	numReports int64
+
+	denseSteps  int64
+	sparseSteps int64
 
 	// OnReport, when non-nil, is invoked for every activated reporting
 	// state instead of appending to the internal report list.
@@ -75,6 +132,11 @@ type Options struct {
 	// CollectReports appends each report to Result.Reports. Ignored when
 	// the engine's OnReport callback is set.
 	CollectReports bool
+	// Kernel selects the step strategy (default KernelAuto).
+	Kernel Kernel
+	// DenseThreshold overrides the frontier length at which KernelAuto
+	// switches to the dense pass; 0 uses the image's compiled default.
+	DenseThreshold int
 }
 
 // Result summarizes a Run.
@@ -89,74 +151,114 @@ type Result struct {
 	Symbols int64
 }
 
-// NewEngine builds an engine for net with the given options.
+// NewEngine builds a fresh engine for net with the given options. The
+// compiled image is shared (and cached on the network); only the dynamic
+// state is per-engine. Prefer AcquireEngine/Release for repeated runs.
 func NewEngine(net *automata.Network, opts Options) *Engine {
-	e := &Engine{
-		net:           net,
-		inCur:         bitvec.New(net.Len()),
-		inNext:        bitvec.New(net.Len()),
-		reportsWanted: opts.CollectReports,
+	e := newEngine(ImageOf(net))
+	e.configure(opts)
+	return e
+}
+
+func newEngine(img *Image) *Engine {
+	return &Engine{
+		img: img,
+		cur: make([]uint64, img.words),
+		nxt: make([]uint64, img.words),
+	}
+}
+
+// configure applies opts to a fresh or pooled engine and resets it.
+func (e *Engine) configure(opts Options) {
+	e.reportsWanted = opts.CollectReports
+	e.kernel = opts.Kernel
+	e.denseCut = opts.DenseThreshold
+	if e.denseCut <= 0 {
+		e.denseCut = e.img.denseCut
 	}
 	if opts.TrackEnabled {
-		e.ever = bitvec.New(net.Len())
-	}
-	for s := range net.States {
-		switch net.States[s].Start {
-		case automata.StartAllInput:
-			e.hasAllInput = true
-			syms := net.States[s].Match
-			for c := 0; c < 256; c++ {
-				if syms.Contains(byte(c)) {
-					e.startAct[c] = append(e.startAct[c], automata.StateID(s))
-				}
-			}
-		case automata.StartOfData:
-			e.startsOfData = append(e.startsOfData, automata.StateID(s))
+		if e.everBuf == nil {
+			e.everBuf = bitvec.New(e.img.n)
 		}
+		e.ever = e.everBuf
+	} else {
+		e.ever = nil
 	}
+	e.OnReport = nil
+	e.denseSteps, e.sparseSteps = 0, 0
 	e.Reset()
-	return e
 }
 
 // Reset clears all dynamic state and re-enables start-of-data states for
 // position 0. Ever-enabled tracking and report counts are also reset.
 func (e *Engine) Reset() {
-	for _, s := range e.frontier {
-		e.inCur.Clear(int(s))
+	if e.curListValid && e.curLen == len(e.frontier) {
+		for _, s := range e.frontier {
+			e.cur[int(s)>>6] &^= 1 << (uint(s) & 63)
+		}
+	} else {
+		for w := range e.cur {
+			e.cur[w] = 0
+		}
 	}
 	e.frontier = e.frontier[:0]
-	for _, s := range e.next {
-		e.inNext.Clear(int(s))
+	e.curLen = 0
+	e.curListValid = true
+	// Between Steps the next-cycle side is always empty; clear it anyway
+	// so Reset recovers from any state.
+	for w := range e.nxt {
+		e.nxt[w] = 0
 	}
 	e.next = e.next[:0]
+	e.nxtLen = 0
+	e.buildNext = true
 	if e.ever != nil {
 		e.ever.Reset()
 		// All-input starts are enabled on every cycle, hence hot by
 		// definition (assuming a non-empty input).
-		for c := 0; c < 256; c++ {
-			for _, s := range e.startAct[c] {
-				e.ever.Set(int(s))
-			}
+		for _, s := range e.img.allInputHot {
+			e.ever.Set(int(s))
 		}
 	}
-	for _, s := range e.startsOfData {
+	for _, s := range e.img.startsOfData {
 		e.enableCur(s)
 	}
 	e.reports = e.reports[:0]
+	e.repBuf = e.repBuf[:0]
 	e.numReports = 0
 }
 
 // enableCur adds s to the frontier consumed by the next Step.
 func (e *Engine) enableCur(s automata.StateID) {
-	if e.net.States[s].Start == automata.StartAllInput {
+	w, m := int(s)>>6, uint64(1)<<(uint(s)&63)
+	if e.img.allInput[w]&m != 0 {
 		return // always enabled; never tracked in the frontier
 	}
-	if e.inCur.TestAndSet(int(s)) {
-		e.frontier = append(e.frontier, s)
+	if e.cur[w]&m == 0 {
+		e.cur[w] |= m
+		e.curLen++
+		if e.curListValid {
+			e.frontier = append(e.frontier, s)
+		}
 		if e.ever != nil {
 			e.ever.Set(int(s))
 		}
 	}
+}
+
+// materializeFrontier rebuilds the sparse frontier list from the bitmap
+// (ascending state order) after a dense pass left the list stale.
+func (e *Engine) materializeFrontier() {
+	f := e.frontier[:0]
+	for w, word := range e.cur {
+		base := w << 6
+		for word != 0 {
+			f = append(f, automata.StateID(base|bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	e.frontier = f
+	e.curListValid = true
 }
 
 // EnableState enables s for the next Step call. This is the SpAP "enable"
@@ -169,10 +271,15 @@ func (e *Engine) EnableState(s automata.StateID) { e.enableCur(s) }
 // their enable line is hard-wired. The frontier is compacted lazily, so
 // the call is O(frontier) only when s was actually enabled.
 func (e *Engine) DisableState(s automata.StateID) {
-	if !e.inCur.Get(int(s)) {
+	w, m := int(s)>>6, uint64(1)<<(uint(s)&63)
+	if e.cur[w]&m == 0 {
 		return
 	}
-	e.inCur.Clear(int(s))
+	e.cur[w] &^= m
+	e.curLen--
+	if !e.curListValid {
+		return // the bitmap is authoritative; no list to compact
+	}
 	for i, f := range e.frontier {
 		if f == s {
 			last := len(e.frontier) - 1
@@ -186,7 +293,7 @@ func (e *Engine) DisableState(s automata.StateID) {
 // ToggleState flips the enable bit of s: enabled states are disabled and
 // vice versa — the SpAP-model view of a transient enable-bit flip.
 func (e *Engine) ToggleState(s automata.StateID) {
-	if e.inCur.Get(int(s)) {
+	if e.cur[int(s)>>6]&(1<<(uint(s)&63)) != 0 {
 		e.DisableState(s)
 		return
 	}
@@ -195,38 +302,158 @@ func (e *Engine) ToggleState(s automata.StateID) {
 
 // FrontierEmpty reports whether no state is dynamically enabled. For a
 // network with no all-input start states this is the SpAP jump condition.
-func (e *Engine) FrontierEmpty() bool { return len(e.frontier) == 0 }
+func (e *Engine) FrontierEmpty() bool { return e.curLen == 0 }
 
 // FrontierLen returns the number of dynamically enabled states.
-func (e *Engine) FrontierLen() int { return len(e.frontier) }
+func (e *Engine) FrontierLen() int { return e.curLen }
 
 // HasAllInputStarts reports whether any state is an all-input start (such
 // states are enabled every cycle and preclude the jump optimization).
-func (e *Engine) HasAllInputStarts() bool { return e.hasAllInput }
+func (e *Engine) HasAllInputStarts() bool { return e.img.hasAllInput }
 
-// Step processes one input symbol at position pos.
+// Step processes one input symbol at position pos, dispatching to the
+// sparse or dense kernel per the configured strategy.
 func (e *Engine) Step(pos int64, sym byte) {
-	// Consume the current frontier and the always-enabled starts.
+	if e.kernel == KernelDense ||
+		(e.kernel == KernelAuto && e.curLen >= e.denseCut) {
+		e.stepDense(pos, sym)
+	} else {
+		e.stepSparse(pos, sym)
+	}
+}
+
+// stepSparse consumes the frontier state by state: one contiguous
+// match-word load and test per enabled state, then the precomputed
+// start-activation list for the symbol. It predicts the next cycle stays
+// sparse and builds the next frontier list eagerly.
+func (e *Engine) stepSparse(pos int64, sym byte) {
+	e.sparseSteps++
+	if !e.curListValid {
+		e.materializeFrontier() // the previous cycle ran dense
+	}
+	e.buildNext = true
+	img := e.img
+	mw := int(sym >> 6)
+	mb := uint64(1) << (sym & 63)
 	for _, s := range e.frontier {
-		e.inCur.Clear(int(s))
-		if e.net.States[s].Match.Contains(sym) {
-			e.activate(pos, s)
+		e.cur[int(s)>>6] &^= 1 << (uint(s) & 63)
+		if img.match[int(s)<<2|mw]&mb != 0 {
+			e.activate(s)
 		}
 	}
 	e.frontier = e.frontier[:0]
-	for _, s := range e.startAct[sym] {
-		e.activate(pos, s)
+	e.curLen = 0
+	for _, s := range img.startAct[sym] {
+		e.activate(s)
 	}
-	// Swap frontiers.
-	e.frontier, e.next = e.next, e.frontier
-	e.inCur, e.inNext = e.inNext, e.inCur
+	e.finishStep(pos)
 }
 
-// activate emits reports for s and enables its successors for the next
-// cycle.
-func (e *Engine) activate(pos int64, s automata.StateID) {
-	st := &e.net.States[s]
-	if st.Report {
+// stepDense consumes the frontier bitmap word-parallel: the activated set
+// is (frontier AND symMask[sym]) OR startMask[sym], computed 64 states at
+// a time, then scattered through the CSR successor arrays. Cost is
+// O(words + activated), independent of frontier size. It predicts the
+// next cycle stays dense and skips next-frontier list maintenance, so
+// enabling a successor is a single bit-set.
+func (e *Engine) stepDense(pos int64, sym byte) {
+	e.denseSteps++
+	e.buildNext = false
+	img := e.img
+	sm := img.symMask[sym]
+	stm := img.startMask[sym]
+	cur := e.cur
+	for w, cw := range cur {
+		act := cw&sm[w] | stm[w]
+		if cw != 0 {
+			cur[w] = 0
+		}
+		for act != 0 {
+			s := automata.StateID(w<<6 | bits.TrailingZeros64(act))
+			act &= act - 1
+			e.activate(s)
+		}
+	}
+	e.frontier = e.frontier[:0]
+	e.curLen = 0
+	e.finishStep(pos)
+}
+
+// activate buffers a report for s (if it reports) and enables its
+// successors for the next cycle. The image's CSR successor lists already
+// exclude all-input start targets.
+func (e *Engine) activate(s automata.StateID) {
+	img := e.img
+	if img.report[int(s)>>6]&(1<<(uint(s)&63)) != 0 {
+		e.repBuf = append(e.repBuf, s)
+	}
+	succ := img.succ[img.succOff[s]:img.succOff[s+1]]
+	nxt := e.nxt
+	n := e.nxtLen
+	if e.ever == nil {
+		if e.buildNext {
+			// Sparse steady state: bitmap + eager list.
+			next := e.next
+			for _, v := range succ {
+				w, m := int(v)>>6, uint64(1)<<(uint(v)&63)
+				if nxt[w]&m == 0 {
+					nxt[w] |= m
+					n++
+					next = append(next, v)
+				}
+			}
+			e.next = next
+		} else {
+			// Dense steady state: membership is the bitmap alone.
+			for _, v := range succ {
+				w, m := int(v)>>6, uint64(1)<<(uint(v)&63)
+				if nxt[w]&m == 0 {
+					nxt[w] |= m
+					n++
+				}
+			}
+		}
+		e.nxtLen = n
+		return
+	}
+	next := e.next
+	for _, v := range succ {
+		w, m := int(v)>>6, uint64(1)<<(uint(v)&63)
+		if nxt[w]&m == 0 {
+			nxt[w] |= m
+			n++
+			if e.buildNext {
+				next = append(next, v)
+			}
+			e.ever.Set(int(v))
+		}
+	}
+	e.next = next
+	e.nxtLen = n
+}
+
+// finishStep flushes the cycle's buffered reports in canonical order and
+// swaps the frontiers. The caller has already consumed the current side.
+func (e *Engine) finishStep(pos int64) {
+	if len(e.repBuf) > 0 {
+		e.flushReports(pos)
+	}
+	e.frontier, e.next = e.next, e.frontier
+	e.cur, e.nxt = e.nxt, e.cur
+	e.curLen, e.nxtLen = e.nxtLen, 0
+	e.curListValid = e.buildNext
+}
+
+// flushReports emits the cycle's reports in ascending state order. The
+// dense pass produces repBuf already sorted and the sparse walk nearly
+// so; an insertion sort makes the canonical order allocation-free.
+func (e *Engine) flushReports(pos int64) {
+	rb := e.repBuf
+	for i := 1; i < len(rb); i++ {
+		for j := i; j > 0 && rb[j] < rb[j-1]; j-- {
+			rb[j], rb[j-1] = rb[j-1], rb[j]
+		}
+	}
+	for _, s := range rb {
 		e.numReports++
 		if e.OnReport != nil {
 			e.OnReport(pos, s)
@@ -234,27 +461,34 @@ func (e *Engine) activate(pos int64, s automata.StateID) {
 			e.reports = append(e.reports, Report{Pos: pos, State: s})
 		}
 	}
-	for _, v := range st.Succ {
-		if e.net.States[v].Start == automata.StartAllInput {
-			continue
-		}
-		if e.inNext.TestAndSet(int(v)) {
-			e.next = append(e.next, v)
-			if e.ever != nil {
-				e.ever.Set(int(v))
-			}
-		}
-	}
+	e.repBuf = rb[:0]
 }
 
-// Reports returns the collected reports (valid until the next Reset).
+// Reports returns the collected reports (valid until the next Reset,
+// ClearReports, or Release).
 func (e *Engine) Reports() []Report { return e.reports }
+
+// ClearReports discards collected reports and resets the report counter
+// without touching the frontier. Chunk workers use it to drop warm-up
+// output before entering their owned input range.
+func (e *Engine) ClearReports() {
+	e.reports = e.reports[:0]
+	e.numReports = 0
+}
 
 // NumReports returns the total number of reports emitted since Reset.
 func (e *Engine) NumReports() int64 { return e.numReports }
 
 // EverEnabled returns the hot-state set, or nil if tracking was off.
 func (e *Engine) EverEnabled() *bitvec.Vec { return e.ever }
+
+// DenseSteps returns how many Step calls ran the dense kernel since the
+// engine was configured.
+func (e *Engine) DenseSteps() int64 { return e.denseSteps }
+
+// SparseSteps returns how many Step calls ran the sparse kernel since the
+// engine was configured.
+func (e *Engine) SparseSteps() int64 { return e.sparseSteps }
 
 // Run executes net over input and returns the result summary.
 func Run(net *automata.Network, input []byte, opts Options) *Result {
@@ -267,7 +501,8 @@ func Run(net *automata.Network, input []byte, opts Options) *Result {
 // result accumulated so far (Symbols records how far it got) together
 // with ctx.Err(). The result is never nil.
 func RunContext(ctx context.Context, net *automata.Network, input []byte, opts Options) (*Result, error) {
-	e := NewEngine(net, opts)
+	e := AcquireEngine(net, opts)
+	defer e.Release()
 	var err error
 	processed := int64(0)
 	for i, b := range input {
@@ -294,9 +529,24 @@ func RunContext(ctx context.Context, net *automata.Network, input []byte, opts O
 // HotStates runs net over input and returns the ever-enabled set. This is
 // the profiling primitive of Section IV-A.
 func HotStates(net *automata.Network, input []byte) *bitvec.Vec {
-	e := NewEngine(net, Options{TrackEnabled: true})
+	hot, _ := HotStatesContext(context.Background(), net, input)
+	return hot
+}
+
+// HotStatesContext is HotStates with cancellation. The profile runs on a
+// pooled engine (profiling is repeated across partition sweeps, so the
+// frontier and tracking buffers are reused); when cancelled it returns
+// the partial hot set accumulated so far together with ctx.Err().
+func HotStatesContext(ctx context.Context, net *automata.Network, input []byte) (*bitvec.Vec, error) {
+	e := AcquireEngine(net, Options{TrackEnabled: true})
+	defer e.Release()
+	var err error
 	for i, b := range input {
+		if i&(cancelCheckInterval-1) == 0 && cancelled(ctx) {
+			err = ctx.Err()
+			break
+		}
 		e.Step(int64(i), b)
 	}
-	return e.ever
+	return e.ever.Clone(), err
 }

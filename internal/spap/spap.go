@@ -198,7 +198,8 @@ func runBaseAPMode(ctx context.Context, p *hotcold.Partition, input []byte, cfg 
 	}
 	var inter []IntermediateReport
 	interSeen := int64(0) // generated intermediate reports, including dropped
-	eng := sim.NewEngine(p.Hot, sim.Options{})
+	eng := sim.AcquireEngine(p.Hot, sim.Options{})
+	defer eng.Release()
 	eng.OnReport = func(pos int64, s automata.StateID) {
 		if orig := p.HotOrig[s]; orig != automata.None {
 			res.NumReports++
@@ -243,9 +244,10 @@ func runBaseAPMode(ctx context.Context, p *hotcold.Partition, input []byte, cfg 
 		}
 	}
 	res.IntermediateReports = int64(len(inter))
-	// The engine emits reports in cycle order; within a cycle order is
-	// arbitrary, which Algorithm 1 permits (all same-position reports are
-	// enabled together). Sort defensively by position for the queue model.
+	// The engine emits reports in cycle order (and ascending state order
+	// within a cycle), which Algorithm 1 permits (all same-position
+	// reports are enabled together). Sort defensively by position for the
+	// queue model.
 	sort.SliceStable(inter, func(a, b int) bool { return inter[a].Pos < inter[b].Pos })
 	return res, inter, nil
 }
@@ -326,7 +328,8 @@ type batchStats struct {
 // simulating the batch alone. Cancellation returns the stats accumulated
 // so far together with ctx.Err().
 func runSpAPBatch(ctx context.Context, p *hotcold.Partition, input []byte, reports []IntermediateReport, cfg ap.Config, opts Options, res *Result) (batchStats, error) {
-	eng := sim.NewEngine(p.Cold, sim.Options{})
+	eng := sim.AcquireEngine(p.Cold, sim.Options{})
+	defer eng.Release()
 	eng.OnReport = func(pos int64, s automata.StateID) {
 		res.NumReports++
 		if opts.CollectReports {
@@ -422,7 +425,8 @@ func RunAPCPUContext(ctx context.Context, p *hotcold.Partition, input []byte, cf
 		return res, err
 	}
 	if len(inter) > 0 {
-		eng := sim.NewEngine(p.Cold, sim.Options{})
+		eng := sim.AcquireEngine(p.Cold, sim.Options{})
+		defer eng.Release()
 		eng.OnReport = func(pos int64, s automata.StateID) {
 			res.NumReports++
 			if opts.CollectReports {

@@ -61,6 +61,15 @@ if [[ $short -eq 0 ]]; then
     echo "smoke sweep: 24 cells green"
 fi
 
+# One-app smoke of the throughput mode: exercises the kernel benchmarks,
+# the BENCH_sim.json writer, and the adaptive-vs-sparse -check gate at a
+# scale that finishes in seconds.
+echo "== apbench throughput smoke (1 app) =="
+bench_out=$(mktemp)
+go run ./cmd/apbench -json -apps HM -divisor 64 -input 8192 -benchtime 20ms \
+    -out "$bench_out" -check
+rm -f "$bench_out"
+
 # Error-severity findings fail the gate; the suite's known warnings (see
 # internal/lint/testdata/golden.txt) do not, and the golden test pins them.
 echo "== aplint =="
