@@ -4,6 +4,7 @@
 //
 //	apgen -app Snort -o out/            # one application
 //	apgen -all -o out/                  # all 26
+//	apgen -all -opt -o out/             # all 26, minimized by the rewriter
 package main
 
 import (
@@ -28,9 +29,10 @@ func main() {
 		noLint   = flag.Bool("nolint", false, "skip linting the emitted networks")
 		strict   = flag.Bool("strict", false, "fail (exit 1) when the linter reports findings instead of warning")
 		capacity = flag.Int("capacity", 3000, "half-core capacity for the lint capacity analyzer")
+		opt      = flag.Bool("opt", false, "emit the minimized networks (proof-carrying rewriter) instead of the raw generated ones")
 	)
 	flag.Parse()
-	cfg := workloads.Config{Divisor: *divisor, InputLen: *inputLen, Seed: *seed}
+	cfg := workloads.Config{Divisor: *divisor, InputLen: *inputLen, Seed: *seed, Optimize: *opt}
 
 	var names []string
 	switch {

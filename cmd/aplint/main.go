@@ -7,11 +7,15 @@
 //	aplint -app Snort -partition 0.01  # one app, incl. partition analyzers
 //	aplint -anml rules.anml            # ANML produced by another toolchain
 //	aplint -regex 'err[0-9]{3}'        # compiled patterns (repeatable flag)
+//	aplint -anml r.anml -diff          # dry-run the rewriter, show deltas
+//	aplint -anml r.anml -fix -o m.anml # write the minimized network
 //	aplint -list                       # catalogue every analyzer
 //
 // -enable/-disable filter by code or name, -json switches to machine
-// output. Exit status: 0 clean, 1 when any error-severity diagnostic was
-// reported (with -strict: any warning or error), 2 on usage or I/O errors.
+// output, -alphabet restricts the semantic analyzers (AP017…) and the
+// rewriter to a symbol class. Exit status: 0 clean, 1 when any
+// error-severity diagnostic was reported (with -strict: any warning or
+// error), 2 on usage or I/O errors.
 package main
 
 import (
@@ -26,6 +30,8 @@ import (
 	"sparseap/internal/hotcold"
 	"sparseap/internal/lint"
 	"sparseap/internal/regexc"
+	"sparseap/internal/rewrite"
+	"sparseap/internal/symset"
 	"sparseap/internal/workloads"
 )
 
@@ -50,6 +56,7 @@ type report struct {
 	Diags     []lint.Diagnostic `json:"diagnostics"`
 	Skipped   []string          `json:"skipped,omitempty"`
 	Partition bool              `json:"partition,omitempty"`
+	Rewrite   *rewrite.Stats    `json:"rewrite,omitempty"`
 }
 
 func main() {
@@ -66,6 +73,10 @@ func main() {
 		capacity  = flag.Int("capacity", 3000, "AP half-core capacity for the capacity analyzer (0 disables)")
 		partition = flag.Float64("partition", 0, "also build a hot/cold partition profiling this input fraction and run the partition analyzers")
 		strict    = flag.Bool("strict", false, "exit non-zero on warnings, not only errors")
+		alphaSpec = flag.String("alphabet", "", "assumed input alphabet as a symbol class (e.g. '[a-z0-9]'); empty = all 256 symbols")
+		fix       = flag.Bool("fix", false, "apply the proof-carrying rewriter and write the minimized network as ANML (single target; see -o)")
+		diffOnly  = flag.Bool("diff", false, "dry-run the rewriter and print per-NFA state/edge deltas without writing")
+		outPath   = flag.String("o", "", "minimized-ANML output path for -fix (default stdout)")
 		maxPer    = flag.Int("max", 20, "max diagnostics printed per code per target in text mode (0 = unlimited)")
 		divisor   = flag.Int("divisor", 8, "workload scale divisor (with -app/-all)")
 		inputLen  = flag.Int("input", 131072, "generated input length (with -app/-all)")
@@ -83,6 +94,14 @@ func main() {
 		Enable:   splitCodes(*enable),
 		Disable:  splitCodes(*disable),
 	}
+	if *alphaSpec != "" {
+		a, err := symset.Parse(bracketed(*alphaSpec))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aplint: -alphabet:", err)
+			os.Exit(2)
+		}
+		opts.Alphabet = a
+	}
 	// A typo'd filter would otherwise silently lint nothing and report
 	// "clean"; reject anything that names no registered analyzer.
 	for _, c := range append(append([]string(nil), opts.Enable...), opts.Disable...) {
@@ -98,9 +117,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *fix && len(targets) != 1 {
+		fmt.Fprintln(os.Stderr, "aplint: -fix needs exactly one target (it writes one minimized network)")
+		os.Exit(2)
+	}
+
 	var reports []report
-	worst := lint.Info
-	haveDiags := false
+	var merged lint.Result
 	for _, t := range targets {
 		rep := report{Name: t.name, States: t.net.Len(), NFAs: t.net.NumNFAs()}
 		res := lint.Run(t.net, opts)
@@ -114,13 +137,29 @@ func main() {
 			}
 			rep.Partition = true
 			rep.Diags = append(rep.Diags, pres.Diags...)
+			// Partition findings arrive after the network ones; restore
+			// the global (NFA, state, code) order so output is stable.
+			lint.SortDiagnostics(rep.Diags)
 		}
-		for _, d := range rep.Diags {
-			haveDiags = true
-			if d.Severity > worst {
-				worst = d.Severity
+		if *fix || *diffOnly {
+			ropts := rewrite.Options{Alphabet: opts.Alphabet, Capacity: *capacity}
+			if *capacity <= 0 {
+				ropts.Capacity = -1 // capacity checking disabled: merge unguarded
+			}
+			rres, err := rewrite.Rewrite(t.net, ropts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aplint: %s: rewrite: %v\n", t.name, err)
+				os.Exit(2)
+			}
+			rep.Rewrite = &rres.Stats
+			if *fix {
+				if err := writeMinimized(*outPath, rres.Net, t.name); err != nil {
+					fmt.Fprintf(os.Stderr, "aplint: %s: %v\n", t.name, err)
+					os.Exit(2)
+				}
 			}
 		}
+		merged.Diags = append(merged.Diags, rep.Diags...)
 		reports = append(reports, rep)
 	}
 
@@ -136,9 +175,44 @@ func main() {
 			printText(rep, *maxPer)
 		}
 	}
-	if worst >= lint.Error || (*strict && haveDiags && worst >= lint.Warning) {
+	// Exit status mirrors Result.Err/ErrAt exactly: the text summary and
+	// the exit code count the same diagnostics.
+	threshold := lint.Error
+	if *strict {
+		threshold = lint.Warning
+	}
+	if merged.ErrAt(threshold) != nil {
 		os.Exit(1)
 	}
+}
+
+// writeMinimized writes the rewritten network as ANML to path ("" or "-"
+// meaning stdout).
+func writeMinimized(path string, net *automata.Network, name string) error {
+	if path == "" || path == "-" {
+		return anml.Write(os.Stdout, net, name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := anml.Write(f, net, name); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// bracketed wraps a bare multi-symbol class in [] so users can write
+// -alphabet a-z as well as the full '[a-z]' symset syntax.
+func bracketed(spec string) string {
+	if spec == "*" || len(spec) == 1 || strings.HasPrefix(spec, "[") {
+		return spec
+	}
+	if len(spec) == 2 && spec[0] == '\\' {
+		return spec // a single escaped symbol or class shorthand
+	}
+	return "[" + spec + "]"
 }
 
 // lintPartition profiles a fraction of the target's input, builds the
@@ -243,6 +317,44 @@ func printText(rep report, maxPer int) {
 		fmt.Println("  clean")
 	} else {
 		fmt.Printf("  %d errors, %d warnings, %d info\n", errs, warns, infos)
+	}
+	if rep.Rewrite != nil {
+		printRewrite(rep.Rewrite, maxPer)
+	}
+}
+
+// printRewrite renders the rewriter's dry-run/applied statistics with
+// per-NFA deltas for the NFAs that changed.
+func printRewrite(st *rewrite.Stats, maxPer int) {
+	if st.StatesRemoved() == 0 && st.EdgesBefore == st.EdgesAfter {
+		fmt.Println("  rewrite: no change (network is already minimal)")
+		return
+	}
+	pct := 0.0
+	if st.StatesBefore > 0 {
+		pct = 100 * float64(st.StatesRemoved()) / float64(st.StatesBefore)
+	}
+	fmt.Printf("  rewrite: states %d -> %d (-%.1f%%), edges %d -> %d, NFAs %d -> %d, %d rounds\n",
+		st.StatesBefore, st.StatesAfter, pct,
+		st.EdgesBefore, st.EdgesAfter, st.NFAsBefore, st.NFAsAfter, st.Rounds)
+	fmt.Printf("  rewrite: %d unreachable, %d dead, %d subsumed, %d merged, %d starts folded, %d edges pruned",
+		st.Unreachable, st.Dead, st.Subsumed, st.Merged, st.StartsFolded, st.EdgesPruned)
+	if st.DemotedClasses > 0 {
+		fmt.Printf(" (%d merge classes demoted by the capacity guard)", st.DemotedClasses)
+	}
+	fmt.Println()
+	shown := 0
+	for _, d := range st.PerNFA {
+		if d.StatesBefore == d.StatesAfter && d.EdgesBefore == d.EdgesAfter {
+			continue
+		}
+		if maxPer > 0 && shown >= maxPer {
+			fmt.Printf("  rewrite: … and more changed NFAs (rerun with -max 0 to see all)\n")
+			break
+		}
+		shown++
+		fmt.Printf("  rewrite: NFA %d: states %d -> %d, edges %d -> %d\n",
+			d.NFA, d.StatesBefore, d.StatesAfter, d.EdgesBefore, d.EdgesAfter)
 	}
 }
 

@@ -47,6 +47,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generation seed (with -app)")
 		trace     = flag.String("trace", "", "write a per-cycle frontier-size CSV to this file")
 		noLint    = flag.Bool("nolint", false, "skip linting the ingested network")
+		opt       = flag.Bool("opt", false, "minimize the network with the proof-carrying rewriter before execution")
 		strict    = flag.Bool("strict", false, "fail (exit 1) when the linter reports findings instead of warning")
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline per execution (0 = none); partial stats are printed on expiry")
 		guard     = flag.Bool("guard", false, "run BaseAP/SpAP under the adaptive guard (watchdog + widened-k retry + baseline fallback)")
@@ -61,6 +62,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *opt {
+		min, st, err := sparseap.Minimize(net)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apsim: minimize:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("minimized:     states %d -> %d, edges %d -> %d, NFAs %d -> %d (report stream certified identical)\n",
+			st.StatesBefore, st.StatesAfter, st.EdgesBefore, st.EdgesAfter, st.NFAsBefore, st.NFAsAfter)
+		net = min
 	}
 	// Lint whatever we are about to execute — generated app or external
 	// ANML: warn by default, fail under -strict.

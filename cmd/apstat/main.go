@@ -5,6 +5,7 @@
 //	apstat -app CAV4k            # one application's statistics
 //	apstat -anml rules.anml      # statistics of an ANML automaton
 //	apstat -all                  # the full Table II
+//	apstat -all -opt             # states/edges before vs after apopt
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		divisor  = flag.Int("divisor", 8, "workload scale divisor")
 		inputLen = flag.Int("input", 131072, "generated input length")
 		seed     = flag.Int64("seed", 1, "generation seed")
+		opt      = flag.Bool("opt", false, "also show states/edges after the proof-carrying rewriter (apopt)")
 	)
 	flag.Parse()
 	wl := workloads.Config{Divisor: *divisor, InputLen: *inputLen, Seed: *seed}
@@ -37,6 +39,10 @@ func main() {
 	case *list:
 		for _, n := range workloads.Names() {
 			fmt.Println(n)
+		}
+	case *all && *opt:
+		if err := printOptTable(wl); err != nil {
+			fail(err)
 		}
 	case *all:
 		suite := exp.NewSuite(wl, ap.DefaultConfig())
@@ -50,7 +56,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		printStats(app.Name, app.Net)
+		printStats(app.Name, app.Net, *opt)
 	case *anmlPath != "":
 		f, err := os.Open(*anmlPath)
 		if err != nil {
@@ -61,14 +67,38 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		printStats(*anmlPath, net)
+		printStats(*anmlPath, net, *opt)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func printStats(name string, net *sparseap.Network) {
+// printOptTable renders the suite with the -opt columns: structural size
+// before and after the proof-carrying rewriter, plus the STE saving.
+func printOptTable(wl workloads.Config) error {
+	apps, err := workloads.BuildAll(wl)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("App", "States", "Opt", "Saved%", "Edges", "Opt", "NFAs", "Opt")
+	for _, app := range apps {
+		_, st, err := sparseap.Minimize(app.Net)
+		if err != nil {
+			return err
+		}
+		saved := 0.0
+		if st.StatesBefore > 0 {
+			saved = 100 * float64(st.StatesRemoved()) / float64(st.StatesBefore)
+		}
+		t.AddRowf(app.Abbr, st.StatesBefore, st.StatesAfter, saved,
+			st.EdgesBefore, st.EdgesAfter, st.NFAsBefore, st.NFAsAfter)
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func printStats(name string, net *sparseap.Network, opt bool) {
 	st := net.ComputeStats()
 	topo := graph.TopoOrder(net)
 	maxTopo, sumTopo := int32(0), int64(0)
@@ -94,6 +124,20 @@ func printStats(name string, net *sparseap.Network) {
 	t.AddRowf("max topological order", maxTopo)
 	t.AddRowf("avg max topo per NFA", float64(sumTopo)/float64(st.NFAs))
 	t.AddRowf("largest SCC", maxSCC)
+	if opt {
+		_, ost, err := sparseap.Minimize(net)
+		if err != nil {
+			fail(err)
+		}
+		t.AddRowf("states after apopt", ost.StatesAfter)
+		t.AddRowf("edges after apopt", ost.EdgesAfter)
+		t.AddRowf("NFAs after apopt", ost.NFAsAfter)
+		saved := 0.0
+		if ost.StatesBefore > 0 {
+			saved = 100 * float64(ost.StatesRemoved()) / float64(ost.StatesBefore)
+		}
+		t.AddRowf("STE saving %", saved)
+	}
 	fmt.Printf("%s\n%s", name, t)
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"sparseap/internal/automata"
 	"sparseap/internal/dfa"
+	"sparseap/internal/rewrite"
 	"sparseap/internal/sim"
 )
 
@@ -21,6 +22,24 @@ type OptStats = automata.OptStats
 // counts) is preserved; state identities are renumbered.
 func Optimize(net *Network) (*Network, OptStats) {
 	return automata.Optimize(net)
+}
+
+// MinimizeStats summarizes a Minimize run: states/edges/NFAs before and
+// after, and what each rewrite phase removed.
+type MinimizeStats = rewrite.Stats
+
+// Minimize runs the proof-carrying semantic rewriter (dataflow-based
+// unreachable/dead elimination, edge pruning, subsumption, and
+// capacity-guarded bisimulation merging, including cross-NFA start
+// folding). It subsumes Optimize: every removal and merge carries a
+// certificate that is machine-checked before being applied, and the
+// report stream is bit-identical up to state renumbering.
+func Minimize(net *Network) (*Network, MinimizeStats, error) {
+	res, err := rewrite.Rewrite(net, rewrite.Options{})
+	if err != nil {
+		return nil, MinimizeStats{}, err
+	}
+	return res.Net, res.Stats, nil
 }
 
 // MatchParallel runs the matcher over input with chunked parallelism (the

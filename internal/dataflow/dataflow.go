@@ -1,0 +1,264 @@
+// Package dataflow implements fixpoint abstract interpretation over
+// automata networks using the 256-bit symbol-set lattice of
+// internal/symset.
+//
+// The AP's premise — most STE capacity is provably wasted — has a static
+// component: from symbol-set algebra alone, before any input is streamed,
+// some states can be shown never to fire, and some firings can be shown
+// never to contribute to a report. This package computes those facts:
+//
+//   - The forward pass derives, per state, the *fire set*: the subset of
+//     the input alphabet on which the state can ever activate. A state
+//     fires on a symbol b iff b is in its match set and the state can be
+//     enabled at all — by a start kind, or by some predecessor that can
+//     itself fire. The abstraction is a join-semilattice of symbol sets
+//     (bottom = empty, join = union), and the transfer function
+//
+//     fire(s) = match(s) ∩ A        if s is a start state
+//     fire(s) = match(s) ∩ A ∩ gate if ∪_{p∈preds(s)} fire(p) ≠ ∅
+//     fire(s) = ∅                   otherwise
+//
+//     is monotone, so worklist iteration converges. Iteration runs over
+//     the SCC condensation: components are processed in topological
+//     order, and only the states inside one component iterate to a local
+//     fixpoint before their successors are visited — the pass visits
+//     each acyclic region exactly once.
+//
+//   - The backward pass derives, per state, *liveness to report*: whether
+//     an activation of the state can contribute, through some chain of
+//     states that can all fire, to the activation of a reporting state.
+//     Reporting states that can fire are live; a non-reporting state is
+//     live iff it can fire and some successor is live.
+//
+// Everything downstream consumes these facts: the semantic lint analyzers
+// (AP017–AP022) report them, and internal/rewrite's proof-carrying
+// transformations are justified by them.
+package dataflow
+
+import (
+	"sparseap/internal/automata"
+	"sparseap/internal/graph"
+	"sparseap/internal/symset"
+)
+
+// Facts holds the per-state results of the fixpoint analyses over one
+// network. All slices are indexed by global state ID.
+type Facts struct {
+	// Net is the analyzed network.
+	Net *automata.Network
+	// Alphabet is the input alphabet the analysis assumed. Symbols
+	// outside it are treated as never appearing in any input stream.
+	Alphabet symset.Set
+	// Fire[s] is the set of symbols state s can ever activate on:
+	// match(s) ∩ Alphabet when s can be enabled, empty otherwise. A
+	// state with an empty fire set provably never activates, never
+	// reports, and never enables a successor.
+	Fire []symset.Set
+	// Enable[s] is the join of the fire sets of s's predecessors — the
+	// symbols whose occurrence (one cycle earlier) can enable s. Start
+	// states are additionally enabled by their start kind regardless of
+	// Enable; the field still records what flows in over edges.
+	Enable []symset.Set
+	// Live[s] reports whether an activation of s can contribute to a
+	// report: s can fire, and s reports or some successor is live.
+	Live []bool
+	// Iterations counts state re-evaluations of the forward fixpoint
+	// (statistics; bounded by states + states-in-cycles × alphabet).
+	Iterations int
+}
+
+// Analyze runs both passes over the network under the given input
+// alphabet. An empty alphabet means the full 256-symbol alphabet (the
+// zero value is "no restriction", matching lint.Options).
+func Analyze(net *automata.Network, alphabet symset.Set) *Facts {
+	if alphabet.IsEmpty() {
+		alphabet = symset.All()
+	}
+	f := &Facts{
+		Net:      net,
+		Alphabet: alphabet,
+		Fire:     make([]symset.Set, net.Len()),
+		Enable:   make([]symset.Set, net.Len()),
+		Live:     make([]bool, net.Len()),
+	}
+	f.forward()
+	f.backward()
+	return f
+}
+
+// forward computes Fire and Enable by worklist iteration over the SCC
+// condensation in topological order.
+func (f *Facts) forward() {
+	n := f.Net
+	if n.Len() == 0 {
+		return
+	}
+	scc := graph.SCC(n)
+
+	// Topologically order the components with Kahn's algorithm over the
+	// condensation (dedup via last-seen marker, as graph.TopoOrder does).
+	nc := scc.NumComps
+	// members[c] lists the states of component c in ascending ID order.
+	members := make([][]automata.StateID, nc)
+	for s := 0; s < n.Len(); s++ {
+		c := scc.Comp[s]
+		members[c] = append(members[c], automata.StateID(s))
+	}
+	// Indegrees count distinct predecessor components. Sources must be
+	// scanned grouped by component for the last-seen dedup to be valid —
+	// interleaved sources would count one (cu, cv) pair twice and leave
+	// cv unreleased forever.
+	indeg := make([]int32, nc)
+	lastSeen := make([]int32, nc)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	for cu := int32(0); cu < int32(nc); cu++ {
+		for _, u := range members[cu] {
+			for _, v := range n.States[u].Succ {
+				cv := scc.Comp[v]
+				if cu == cv || lastSeen[cv] == cu {
+					continue
+				}
+				lastSeen[cv] = cu
+				indeg[cv]++
+			}
+		}
+	}
+	order := make([]int32, 0, nc)
+	for c := 0; c < nc; c++ {
+		if indeg[c] == 0 {
+			order = append(order, int32(c))
+		}
+	}
+	preds := n.Preds()
+	// eval recomputes one state's facts; returns true if Fire grew.
+	eval := func(s automata.StateID) bool {
+		st := &n.States[s]
+		var enable symset.Set
+		for _, p := range preds[s] {
+			enable = enable.Union(f.Fire[p])
+		}
+		f.Enable[s] = enable
+		fire := f.Fire[s]
+		if st.Start != automata.StartNone || !enable.IsEmpty() {
+			fire = st.Match.Intersect(f.Alphabet)
+		}
+		f.Iterations++
+		if fire.Equal(f.Fire[s]) {
+			return false
+		}
+		f.Fire[s] = fire
+		return true
+	}
+	for qi := 0; qi < len(order); qi++ {
+		c := order[qi]
+		ms := members[c]
+		if len(ms) == 1 && !selfLoop(n, ms[0]) {
+			eval(ms[0])
+		} else {
+			// Iterate the cyclic component to a local fixpoint. The
+			// lattice has height ≤ |alphabet| per state, so this
+			// terminates; in practice one extra round suffices because
+			// Fire only switches empty → match∩A.
+			for changed := true; changed; {
+				changed = false
+				for _, s := range ms {
+					if eval(s) {
+						changed = true
+					}
+				}
+			}
+		}
+		// Release successor components whose inputs are now final.
+		for _, s := range ms {
+			for _, v := range n.States[s].Succ {
+				cv := scc.Comp[v]
+				if cv == c {
+					continue
+				}
+				if lastSeen[cv] == ^c { // already decremented for (c, cv)
+					continue
+				}
+				lastSeen[cv] = ^c
+				indeg[cv]--
+				if indeg[cv] == 0 {
+					order = append(order, cv)
+				}
+			}
+		}
+	}
+}
+
+// selfLoop reports whether state s has an edge to itself.
+func selfLoop(n *automata.Network, s automata.StateID) bool {
+	for _, v := range n.States[s].Succ {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// backward computes Live with a reverse reachability pass restricted to
+// states that can fire: liveness propagates from firing reporting states
+// through predecessors that can themselves fire.
+func (f *Facts) backward() {
+	n := f.Net
+	preds := n.Preds()
+	var stack []automata.StateID
+	for s := 0; s < n.Len(); s++ {
+		if n.States[s].Report && !f.Fire[s].IsEmpty() {
+			f.Live[s] = true
+			stack = append(stack, automata.StateID(s))
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range preds[u] {
+			if !f.Live[p] && !f.Fire[p].IsEmpty() {
+				f.Live[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+}
+
+// Unreachable reports whether state s can never fire under the alphabet:
+// its fire set is empty, either because its match set misses the alphabet
+// or because no enabling chain from a start state exists.
+func (f *Facts) Unreachable(s automata.StateID) bool { return f.Fire[s].IsEmpty() }
+
+// Dead reports whether state s can fire but never contributes to any
+// report: it is not reporting and no live successor exists.
+func (f *Facts) Dead(s automata.StateID) bool {
+	return !f.Fire[s].IsEmpty() && !f.Live[s]
+}
+
+// Removable reports whether state s can be deleted without changing the
+// network's report stream: it either never fires, or fires without ever
+// contributing to a report.
+func (f *Facts) Removable(s automata.StateID) bool { return !f.Live[s] }
+
+// FireProb returns the uniform-symbol activation probability of state s
+// relative to the live alphabet: |fire(s)| / |live|, where live is the
+// union of all fire sets. It is the semantic refinement of the AP016
+// report-density model — states that provably never fire contribute 0.
+func (f *Facts) FireProb(s automata.StateID) float64 {
+	live := f.LiveAlphabet().Len()
+	if live == 0 {
+		return 0
+	}
+	return float64(f.Fire[s].Len()) / float64(live)
+}
+
+// LiveAlphabet returns the union of every state's fire set: the symbols
+// that can drive any activation at all.
+func (f *Facts) LiveAlphabet() symset.Set {
+	var a symset.Set
+	for _, fs := range f.Fire {
+		a = a.Union(fs)
+	}
+	return a
+}

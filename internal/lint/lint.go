@@ -28,7 +28,10 @@ import (
 	"strings"
 
 	"sparseap/internal/automata"
+	"sparseap/internal/dataflow"
 	"sparseap/internal/graph"
+	"sparseap/internal/rewrite"
+	"sparseap/internal/symset"
 )
 
 // Severity ranks a diagnostic.
@@ -190,6 +193,10 @@ type Options struct {
 	// ReportBudget overrides the intermediate-report density the AP016
 	// analyzer warns above; 0 means DefaultReportBudget.
 	ReportBudget float64
+	// Alphabet is the assumed input alphabet for the semantic analyzers
+	// (AP017–AP022) and the rewriter; the zero value means the full
+	// 256-symbol alphabet.
+	Alphabet symset.Set
 }
 
 func (o Options) wants(a *Analyzer) bool {
@@ -228,6 +235,10 @@ type Pass struct {
 	topo         *graph.Topo
 	reach        []bool
 	coreach      []bool
+	facts        *dataflow.Facts
+	opt          *rewrite.Result
+	optErr       error
+	optDone      bool
 }
 
 // Problems returns the network's structural problems, computed once.
@@ -294,6 +305,35 @@ func (p *Pass) CoReach() []bool {
 		p.coreach = co
 	}
 	return p.coreach
+}
+
+// Facts returns the dataflow fixpoint facts (fire sets and liveness)
+// under the configured alphabet, computed once. Callers must only use it
+// from NeedsSound analyzers — the analysis traverses successor edges.
+func (p *Pass) Facts() *dataflow.Facts {
+	if p.facts == nil {
+		p.facts = dataflow.Analyze(p.Net, p.Opts.Alphabet)
+	}
+	return p.facts
+}
+
+// RewriteOptions returns the rewriter configuration matching this run's
+// options: same alphabet, capacity guard at the configured half-core
+// capacity (rewrite.DefaultCapacity when unset).
+func (p *Pass) RewriteOptions() rewrite.Options {
+	return rewrite.Options{Alphabet: p.Opts.Alphabet, Capacity: p.Opts.Capacity}
+}
+
+// Optimized returns the result of a dry rewrite of the network under
+// RewriteOptions, computed once. The network is not modified — analyzers
+// use the result to report what a rewrite would save. Callers must only
+// use it from NeedsSound analyzers.
+func (p *Pass) Optimized() (*rewrite.Result, error) {
+	if !p.optDone {
+		p.opt, p.optErr = rewrite.Rewrite(p.Net, p.RewriteOptions())
+		p.optDone = true
+	}
+	return p.opt, p.optErr
 }
 
 // stateDiag builds a state-level diagnostic, filling NFA index and name
@@ -371,11 +411,17 @@ func (r *Result) Summary() string {
 // Err returns nil when no Error-severity diagnostic was reported, and an
 // error summarizing the first one (plus a count) otherwise. It is how the
 // linter degrades back into the classic Validate/CheckInvariants contract.
-func (r *Result) Err() error {
+func (r *Result) Err() error { return r.ErrAt(Error) }
+
+// ErrAt is Err with a configurable threshold: it returns an error
+// summarizing the first diagnostic at or above min severity (plus a
+// count of the rest). Strict mode (aplint -strict) uses ErrAt(Warning),
+// so the exit path counts exactly the diagnostics the summary shows.
+func (r *Result) ErrAt(min Severity) error {
 	first := -1
 	n := 0
 	for i, d := range r.Diags {
-		if d.Severity == Error {
+		if d.Severity >= min {
 			if first < 0 {
 				first = i
 			}
@@ -388,7 +434,7 @@ func (r *Result) Err() error {
 	if n == 1 {
 		return fmt.Errorf("lint: %s", r.Diags[first])
 	}
-	return fmt.Errorf("lint: %s (and %d more errors)", r.Diags[first], n-1)
+	return fmt.Errorf("lint: %s (and %d more findings at %s or above)", r.Diags[first], n-1, min)
 }
 
 // run executes the selected analyzers over an initialized pass.
@@ -408,8 +454,17 @@ func run(p *Pass, partition bool) *Result {
 			}
 		}
 	}
-	sort.SliceStable(res.Diags, func(i, j int) bool {
-		a, b := res.Diags[i], res.Diags[j]
+	SortDiagnostics(res.Diags)
+	return res
+}
+
+// SortDiagnostics orders diagnostics by (NFA, state, code) — the
+// canonical emission order of both the text and JSON outputs. Callers
+// that concatenate results (cmd/aplint merging network and partition
+// findings) re-sort with this before emitting.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.NFA != b.NFA {
 			return a.NFA < b.NFA
 		}
@@ -418,7 +473,6 @@ func run(p *Pass, partition bool) *Result {
 		}
 		return a.Code < b.Code
 	})
-	return res
 }
 
 // Run executes every applicable network analyzer over the network.

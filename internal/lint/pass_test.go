@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"testing"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// Edge-case coverage for the Pass memoized graph analyses.
+
+func TestReachCoReachEmptyNetwork(t *testing.T) {
+	p := &Pass{Net: &automata.Network{}}
+	if got := p.Reach(); len(got) != 0 {
+		t.Errorf("Reach on empty network = %v, want empty", got)
+	}
+	if got := p.CoReach(); len(got) != 0 {
+		t.Errorf("CoReach on empty network = %v, want empty", got)
+	}
+}
+
+func TestReachCoReachSingleAllInputStart(t *testing.T) {
+	m := automata.NewNFA()
+	m.Add(symset.Single('a'), automata.StartAllInput, true)
+	p := &Pass{Net: automata.NewNetwork(m)}
+	if r := p.Reach(); len(r) != 1 || !r[0] {
+		t.Errorf("Reach = %v, want the lone start reachable", p.Reach())
+	}
+	if c := p.CoReach(); len(c) != 1 || !c[0] {
+		t.Errorf("CoReach = %v, want the reporting start co-reachable", p.CoReach())
+	}
+}
+
+func TestReachCoReachReportOnlyNFA(t *testing.T) {
+	// Every state reports; none is a start. Nothing is reachable, but
+	// everything co-reaches (each state IS a reporting state).
+	m := automata.NewNFA()
+	a := m.Add(symset.Single('a'), automata.StartNone, true)
+	b := m.Add(symset.Single('b'), automata.StartNone, true)
+	m.Connect(a, b)
+	p := &Pass{Net: automata.NewNetwork(m)}
+	for s, ok := range p.Reach() {
+		if ok {
+			t.Errorf("Reach[%d] = true, want false (no start states)", s)
+		}
+	}
+	for s, ok := range p.CoReach() {
+		if !ok {
+			t.Errorf("CoReach[%d] = false, want true (state reports itself)", s)
+		}
+	}
+}
+
+func TestReachCoReachCycleWithoutReportPath(t *testing.T) {
+	// start -> u <-> v cycle with no reporting state anywhere: all
+	// reachable, none co-reachable.
+	m := automata.NewNFA()
+	s0 := m.Add(symset.Single('a'), automata.StartAllInput, false)
+	u := m.Add(symset.Single('b'), automata.StartNone, false)
+	v := m.Add(symset.Single('c'), automata.StartNone, false)
+	m.Connect(s0, u)
+	m.Connect(u, v)
+	m.Connect(v, u)
+	p := &Pass{Net: automata.NewNetwork(m)}
+	for s, ok := range p.Reach() {
+		if !ok {
+			t.Errorf("Reach[%d] = false, want true", s)
+		}
+	}
+	for s, ok := range p.CoReach() {
+		if ok {
+			t.Errorf("CoReach[%d] = true, want false (no reporting state exists)", s)
+		}
+	}
+	// Memoization must return the identical slices.
+	if &p.Reach()[0] != &p.reach[0] || &p.CoReach()[0] != &p.coreach[0] {
+		t.Error("Reach/CoReach must memoize")
+	}
+}
+
+// Satellite of the determinism guarantee: Run must emit diagnostics in
+// (NFA, state, code) order, and two runs must agree byte for byte.
+func TestDiagnosticOrderDeterministic(t *testing.T) {
+	net := semNet()
+	opts := Options{Alphabet: symset.Range('a', 'z'), Capacity: 2}
+	res := Run(net, opts)
+	if len(res.Diags) < 3 {
+		t.Fatalf("fixture too quiet for an ordering test: %v", res.Diags)
+	}
+	for i := 1; i < len(res.Diags); i++ {
+		a, b := res.Diags[i-1], res.Diags[i]
+		if a.NFA > b.NFA ||
+			(a.NFA == b.NFA && a.State > b.State) ||
+			(a.NFA == b.NFA && a.State == b.State && a.Code > b.Code) {
+			t.Fatalf("diagnostics out of (NFA, state, code) order at %d: %v then %v", i, a, b)
+		}
+	}
+	again := Run(net, opts)
+	if len(again.Diags) != len(res.Diags) {
+		t.Fatalf("run-to-run diag count differs: %d vs %d", len(again.Diags), len(res.Diags))
+	}
+	for i := range res.Diags {
+		if res.Diags[i].String() != again.Diags[i].String() {
+			t.Fatalf("run-to-run diag %d differs:\n  %s\n  %s", i, res.Diags[i], again.Diags[i])
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"sparseap/internal/automata"
 	"sparseap/internal/lint"
+	"sparseap/internal/rewrite"
 )
 
 // Group is the resource-requirement class of Section VI-A.
@@ -69,6 +70,11 @@ type Config struct {
 	Divisor int
 	// Seed makes generation deterministic; default 1.
 	Seed int64
+	// Optimize passes the generated network through the proof-carrying
+	// rewriter (internal/rewrite) before returning it, so downstream
+	// batching and partitioning see the minimized STE count. The report
+	// stream is provably unchanged.
+	Optimize bool
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +163,13 @@ func Build(abbr string, cfg Config) (*App, error) {
 	// generator bug. Warning/info analyzers are left to cmd/aplint.
 	if res := lint.Run(app.Net, lint.Options{MinSeverity: lint.Error}); res.Err() != nil {
 		return nil, fmt.Errorf("workloads: %s: generated invalid network: %w", abbr, res.Err())
+	}
+	if cfg.Optimize {
+		res, err := rewrite.Rewrite(app.Net, rewrite.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("workloads: %s: optimize: %w", abbr, err)
+		}
+		app.Net = res.Net
 	}
 	return app, nil
 }

@@ -233,3 +233,29 @@ func TestPENPhasedInput(t *testing.T) {
 		t.Fatalf("PEN phases indistinct: preamble hot %d vs full hot %d", hotPre, hotFull)
 	}
 }
+
+func TestConfigOptimize(t *testing.T) {
+	cfg := fastCfg()
+	raw, err := Build("Snort", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Optimize = true
+	opt, err := Build("Snort", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Net.Len() >= raw.Net.Len() {
+		t.Fatalf("Optimize did not shrink Snort: %d vs %d states", opt.Net.Len(), raw.Net.Len())
+	}
+	if problems := opt.Net.StructuralProblems(); len(problems) != 0 {
+		t.Fatalf("optimized network is unsound: %v", problems)
+	}
+	// The rewriter certifies report-stream equivalence; here just check
+	// the per-position report counts survive the round trip.
+	rawRes := sim.Run(raw.Net, raw.Input, sim.Options{CollectReports: true})
+	optRes := sim.Run(opt.Net, opt.Input, sim.Options{CollectReports: true})
+	if len(rawRes.Reports) != len(optRes.Reports) {
+		t.Fatalf("report counts diverge: raw %d vs optimized %d", len(rawRes.Reports), len(optRes.Reports))
+	}
+}

@@ -4,10 +4,12 @@
 #   scripts/check.sh           # full gate
 #   scripts/check.sh -short    # skip the race pass (quick pre-commit loop)
 #
-# Steps: gofmt, go vet, build, full test suite, race-detector pass over the
-# packages with real concurrency (the simulators and fault injection), the
-# fault-injection smoke sweep, and the aplint sweep of the generated
-# workload suite.
+# Steps: gofmt, go vet, staticcheck (when installed), build, full test
+# suite, race-detector pass over the packages with real concurrency (the
+# simulators and fault injection), a fuzz smoke pass over the parser/
+# compiler/rewriter fuzz targets, the fault-injection smoke sweep, the
+# apopt certificate-checked rewrite of the suite, and the aplint sweep of
+# the generated workload suite.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +27,15 @@ fi
 echo "== go vet =="
 go vet ./...
 
+# staticcheck is optional locally (CI installs the pinned version); the
+# gate runs it whenever it is on PATH so local and CI findings match.
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck =="
+    staticcheck ./...
+else
+    echo "== staticcheck (skipped: not installed; CI runs it) =="
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -34,6 +45,15 @@ go test ./...
 if [[ $short -eq 0 ]]; then
     echo "== go test -race (simulators + fault injection) =="
     go test -race ./internal/sim ./internal/spap ./internal/fault
+fi
+
+if [[ $short -eq 0 ]]; then
+    # Fuzz smoke: a few seconds per target catches regressions in the
+    # corpus-seeded paths without turning the gate into a fuzz campaign.
+    echo "== fuzz smoke (parser, compiler, rewriter) =="
+    go test -run ZZZ -fuzz FuzzParseANML -fuzztime 5s ./internal/anml
+    go test -run ZZZ -fuzz FuzzCompileRegex -fuzztime 5s ./internal/regexc
+    go test -run ZZZ -fuzz FuzzRewriteEquivalence -fuzztime 10s ./internal/rewrite
 fi
 
 if [[ $short -eq 0 ]]; then
@@ -69,6 +89,11 @@ bench_out=$(mktemp)
 go run ./cmd/apbench -json -apps HM -divisor 64 -input 8192 -benchtime 20ms \
     -out "$bench_out" -check
 rm -f "$bench_out"
+
+# Rewrite the whole suite with the certificate chain re-verified: any
+# unsound rewrite plan fails the gate here before it could reach users.
+echo "== apopt certificate-checked suite rewrite =="
+go run ./cmd/apopt -all -check -divisor 64 -input 8192
 
 # Error-severity findings fail the gate; the suite's known warnings (see
 # internal/lint/testdata/golden.txt) do not, and the golden test pins them.
