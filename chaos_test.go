@@ -1,0 +1,225 @@
+package sparseap_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sparseap"
+	"sparseap/internal/workloads"
+)
+
+// chaosKills fires an injected crash each time the chaos-hook poll count
+// crosses one of the thresholds in at; the counter spans resumes.
+type chaosKills struct {
+	checks int64
+	at     []int64
+	next   int
+}
+
+func (k *chaosKills) hook(pos int64) bool {
+	k.checks++
+	if k.next < len(k.at) && k.checks >= k.at[k.next] {
+		k.next++
+		return true
+	}
+	return false
+}
+
+// soakApp builds one suite application at chaos-soak scale.
+func soakApp(t *testing.T, abbr string) (*workloads.App, *sparseap.Engine, *sparseap.Partition) {
+	t.Helper()
+	app, err := workloads.Build(abbr, workloads.Config{Divisor: 64, InputLen: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sparseap.DefaultAPConfig()
+	cfg.Capacity = 375 // half-core scaled by the divisor
+	eng := sparseap.NewEngine(cfg)
+	n := len(app.Input) / 100
+	if n < 2 {
+		n = 2
+	}
+	p, err := eng.Partition(app.Net, app.Input[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, eng, p
+}
+
+func sameReports(a, b []sparseap.Report) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChaosSoakBaseAPSpAP kills each suite application at five seeded
+// points spread across its whole execution and resumes from the durable
+// store every time. The final report stream must be bit-identical to the
+// uninterrupted run's — no duplicates, no losses — and every kill point
+// must actually fire.
+func TestChaosSoakBaseAPSpAP(t *testing.T) {
+	apps := []string{"HM", "Snort", "Fermi", "PEN", "TCP"}
+	if testing.Short() {
+		apps = apps[:2]
+	}
+	ctx := context.Background()
+	for _, abbr := range apps {
+		t.Run(abbr, func(t *testing.T) {
+			app, eng, p := soakApp(t, abbr)
+			want, err := eng.RunBaseAPSpAPContext(ctx, p, app.Input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Probe pass counts chaos polls so the five kill thresholds
+			// cover early, middle, and late execution.
+			probe := &chaosKills{}
+			if _, err := eng.RunBaseAPSpAPCheckpointed(ctx, p, app.Input,
+				&sparseap.CheckpointRunner{CrashAt: probe.hook}); err != nil {
+				t.Fatal(err)
+			}
+			kills := &chaosKills{}
+			for i := 1; i <= 5; i++ {
+				kills.at = append(kills.at, probe.checks*int64(2*i-1)/10)
+			}
+			store, err := sparseap.OpenCheckpointStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got *sparseap.ExecResult
+			for attempt := 0; ; attempt++ {
+				if attempt > len(kills.at)+2 {
+					t.Fatalf("kill/resume loop did not converge after %d attempts", attempt)
+				}
+				ck := &sparseap.CheckpointRunner{Store: store, Name: "spap", Every: 256, CrashAt: kills.hook}
+				got, err = eng.RunBaseAPSpAPCheckpointed(ctx, p, app.Input, ck)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, sparseap.ErrCrashInjected) {
+					t.Fatalf("attempt %d: %v", attempt, err)
+				}
+			}
+			if kills.next != len(kills.at) {
+				t.Fatalf("only %d of %d kill points fired", kills.next, len(kills.at))
+			}
+			if !sameReports(got.Reports, want.Reports) {
+				t.Fatalf("resumed stream diverged: %d vs %d reports", len(got.Reports), len(want.Reports))
+			}
+			if got.NumReports != want.NumReports {
+				t.Fatalf("NumReports = %d, want %d (duplicate or lost reports across resumes)",
+					got.NumReports, want.NumReports)
+			}
+		})
+	}
+}
+
+// TestChaosSoakGuarded runs the kill/resume soak through the guarded
+// executor, whose ladder state (attempts, fallbacks) must also survive.
+func TestChaosSoakGuarded(t *testing.T) {
+	ctx := context.Background()
+	app, eng, p := soakApp(t, "HM")
+	g := sparseap.DefaultGuard()
+	want, err := eng.RunGuarded(ctx, p, app.Input, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &chaosKills{}
+	if _, err := eng.RunGuardedCheckpointed(ctx, p, app.Input, g,
+		&sparseap.CheckpointRunner{CrashAt: probe.hook}); err != nil {
+		t.Fatal(err)
+	}
+	kills := &chaosKills{}
+	for i := 1; i <= 5; i++ {
+		kills.at = append(kills.at, probe.checks*int64(2*i-1)/10)
+	}
+	store, err := sparseap.OpenCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *sparseap.ExecResult
+	for attempt := 0; ; attempt++ {
+		if attempt > len(kills.at)+2 {
+			t.Fatalf("kill/resume loop did not converge after %d attempts", attempt)
+		}
+		ck := &sparseap.CheckpointRunner{Store: store, Name: "spap", Every: 256, CrashAt: kills.hook}
+		got, err = eng.RunGuardedCheckpointed(ctx, p, app.Input, g, ck)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, sparseap.ErrCrashInjected) {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+	}
+	if !sameReports(got.Reports, want.Reports) {
+		t.Fatalf("guarded resumed stream diverged: %d vs %d reports", len(got.Reports), len(want.Reports))
+	}
+	if (got.Guard == nil) != (want.Guard == nil) {
+		t.Fatalf("guard stats presence diverged")
+	}
+}
+
+// TestChaosSoakBaselineWithCorruption soaks the baseline system and, on
+// top of the kill/resume loop, corrupts the newest checkpoint slot after
+// the first crash: recovery must come from the previous good slot and the
+// stream must still match exactly.
+func TestChaosSoakBaselineWithCorruption(t *testing.T) {
+	ctx := context.Background()
+	app, eng, _ := soakApp(t, "HM")
+	want, _, err := eng.RunBaselineCheckpointed(ctx, app.Net, app.Input, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReports := sparseap.Match(app.Net, app.Input)
+
+	dir := t.TempDir()
+	store, err := sparseap.OpenCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kills := &chaosKills{at: []int64{900, 2100, 3300}}
+	corrupted := false
+	var got []sparseap.Report
+	var res *sparseap.BaselineResult
+	for attempt := 0; ; attempt++ {
+		if attempt > len(kills.at)+2 {
+			t.Fatalf("kill/resume loop did not converge after %d attempts", attempt)
+		}
+		ck := &sparseap.CheckpointRunner{Store: store, Name: "baseline", Every: 256, CrashAt: kills.hook}
+		res, got, err = eng.RunBaselineCheckpointed(ctx, app.Net, app.Input, ck)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, sparseap.ErrCrashInjected) {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		if !corrupted {
+			// Flip a byte in the newest slot; the next resume must fall
+			// back to the rotated previous checkpoint.
+			path := filepath.Join(dir, "baseline.ckpt")
+			b, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			b[len(b)-1] ^= 0xff
+			if werr := os.WriteFile(path, b, 0o644); werr != nil {
+				t.Fatal(werr)
+			}
+			corrupted = true
+		}
+	}
+	if res.Batches != want.Batches || res.Reports != want.Reports {
+		t.Fatalf("baseline result diverged: %+v vs %+v", res, want)
+	}
+	if !sameReports(got, wantReports) {
+		t.Fatalf("baseline resumed stream diverged: %d vs %d reports", len(got), len(wantReports))
+	}
+}

@@ -1,0 +1,74 @@
+package sparseap
+
+// This file exposes the checkpointed-execution surface: crash-consistent
+// snapshot/restore of the execution engine, durable checkpoint stores with
+// atomic write-rename persistence and corruption fallback, and resumable
+// variants of the baseline and BaseAP/SpAP systems with exactly-once
+// report delivery across resume boundaries.
+
+import (
+	"context"
+
+	"sparseap/internal/ap"
+	"sparseap/internal/checkpoint"
+	"sparseap/internal/sim"
+	"sparseap/internal/spap"
+)
+
+type (
+	// CheckpointStore is a directory-backed durable store: every save is
+	// write-tmp + fsync + rename with the previous checkpoint rotated to a
+	// fallback slot, so a crash at any instant leaves a loadable state.
+	CheckpointStore = checkpoint.Store
+	// CheckpointRunner bundles a store with one checkpoint stream and its
+	// capture policy (interval, chaos hook). A nil store disables
+	// persistence; executors need no nil-guards.
+	CheckpointRunner = checkpoint.Runner
+	// CheckpointManifest ties the checkpoint streams of a run together and
+	// carries the resume count (the chaos epoch).
+	CheckpointManifest = checkpoint.Manifest
+	// EngineSnapshot is the serializable dynamic state of a simulation
+	// engine between two Step calls.
+	EngineSnapshot = sim.Snapshot
+	// ResumeStats records checkpoint/resume bookkeeping of a run.
+	ResumeStats = spap.ResumeStats
+)
+
+var (
+	// ErrNoCheckpoint reports an empty store (fresh start).
+	ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
+	// ErrCheckpointMismatch reports a checkpoint that belongs to a
+	// different run, format version, or network.
+	ErrCheckpointMismatch = checkpoint.ErrMismatch
+	// ErrCrashInjected is the chaos hook's injected process kill.
+	ErrCrashInjected = checkpoint.ErrCrashInjected
+)
+
+// OpenCheckpointStore opens (creating if needed) a checkpoint directory.
+func OpenCheckpointStore(dir string) (*CheckpointStore, error) { return checkpoint.Open(dir) }
+
+// RunBaselineCheckpointed is RunBaselineContext with durable checkpoints:
+// engine state is captured every ck.Every symbols and the run resumes from
+// the newest valid checkpoint. The returned report list is the full
+// stream (restored prefix + re-run suffix), bit-identical to an
+// uninterrupted run's.
+func (e *Engine) RunBaselineCheckpointed(ctx context.Context, net *Network, input []byte, ck *CheckpointRunner) (*BaselineResult, []Report, error) {
+	return ap.RunBaselineCheckpointedContext(ctx, net, input, e.AP, true, ck)
+}
+
+// RunBaseAPSpAPCheckpointed is RunBaseAPSpAPContext with durable
+// checkpoints: per-batch progress (completed batch indices, the
+// intermediate-report list, mid-batch engine snapshots and report
+// cursors) persists through ck, so an interrupted run resumes mid-batch
+// with exactly-once report delivery instead of re-streaming from symbol 0.
+func (e *Engine) RunBaseAPSpAPCheckpointed(ctx context.Context, p *Partition, input []byte, ck *CheckpointRunner) (*ExecResult, error) {
+	return spap.RunBaseAPSpAPCheckpointed(ctx, p, input, e.AP, e.execOpts(), ck)
+}
+
+// RunGuardedCheckpointed is RunGuarded with durable checkpoints: the
+// guard ladder (attempts, widened layers, watchdog counters, fallbacks)
+// is part of the persisted state, so even a run killed mid-retry or
+// mid-fallback resumes exactly where it was.
+func (e *Engine) RunGuardedCheckpointed(ctx context.Context, p *Partition, input []byte, g Guard, ck *CheckpointRunner) (*ExecResult, error) {
+	return spap.RunGuardedCheckpointed(ctx, p, input, e.AP, g, e.execOpts(), ck)
+}

@@ -51,10 +51,14 @@ func main() {
 		strict    = flag.Bool("strict", false, "fail (exit 1) when the linter reports findings instead of warning")
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline per execution (0 = none); partial stats are printed on expiry")
 		guard     = flag.Bool("guard", false, "run BaseAP/SpAP under the adaptive guard (watchdog + widened-k retry + baseline fallback)")
-		faultSpec = flag.String("fault", "", "inject faults: comma-separated kind=rate of stuckoff|stuckon|flip|drop|loadfail")
+		faultSpec = flag.String("fault", "", "inject faults: comma-separated kind=rate of stuckoff|stuckon|flip|drop|loadfail|crash")
 		faultSeed = flag.Int64("faultseed", 1, "fault-injection seed (with -fault)")
 		repair    = flag.Bool("repair", false, "repair injected stuck faults via spare-STE remapping and verify report equivalence")
 		spares    = flag.Int("spares", 0, "spare STEs per block for -repair (0 = the minimum that suffices)")
+		ckDir     = flag.String("checkpoint", "", "durable checkpoint directory: state is captured every -every symbols so a killed run can -resume")
+		ckEvery   = flag.Int64("every", 0, "checkpoint capture interval in input symbols (0 = 8192)")
+		ckResume  = flag.Bool("resume", false, "resume from the -checkpoint directory instead of starting fresh")
+		reportOut = flag.String("reportout", "", "write the final report stream (one 'pos state' line per report) to this file")
 	)
 	flag.Parse()
 
@@ -137,6 +141,70 @@ func main() {
 		}
 	}
 
+	// Checkpointing: open the store, then start fresh (clearing stale
+	// state) or resume — validating through the manifest that the stored
+	// run matches this invocation's application, scale, and knobs. The
+	// manifest's resume count doubles as the chaos epoch: every resumed
+	// process rolls a fresh injected-crash schedule, so a kill/resume loop
+	// terminates with probability 1.
+	var store *sparseap.CheckpointStore
+	var manifest *sparseap.CheckpointManifest
+	epoch := int64(0)
+	if *ckDir != "" {
+		s, err := sparseap.OpenCheckpointStore(*ckDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apsim: checkpoint:", err)
+			os.Exit(1)
+		}
+		store = s
+		fp := runFingerprint(*appName, *anmlPath, *inPath, *divisor, *inputLen, *seed,
+			*capacity, *system, *guard, *opt, *faultSpec, *faultSeed)
+		var m *sparseap.CheckpointManifest
+		if *ckResume {
+			m, err = store.ResumeManifest(fp, int64(len(input)))
+		} else {
+			m, err = store.FreshManifest(fp, int64(len(input)))
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apsim: checkpoint:", err)
+			os.Exit(1)
+		}
+		manifest = m
+		epoch = m.Resumes
+		ev := *ckEvery
+		if ev <= 0 {
+			ev = 8192
+		}
+		fmt.Printf("checkpoint:    dir %s, every %d symbols, epoch %d\n", *ckDir, ev, epoch)
+	}
+	// mkRunner builds the per-system checkpoint stream; the chaos hook is
+	// wired even without -checkpoint so crash plans kill plain runs too.
+	mkRunner := func(name string) *sparseap.CheckpointRunner {
+		r := &sparseap.CheckpointRunner{Store: store, Name: name, Every: *ckEvery}
+		if inj.Active() {
+			r.CrashAt = func(pos int64) bool { return inj.CrashAt(epoch, pos) }
+		}
+		return r
+	}
+	useCk := store != nil || plan.CrashRate > 0
+	markDone := func() {
+		if store != nil && manifest != nil {
+			manifest.Done = true
+			if err := store.SaveManifest(manifest); err != nil {
+				fmt.Fprintln(os.Stderr, "apsim: checkpoint:", err)
+			}
+		}
+	}
+	writeReports := func(reports []sparseap.Report) {
+		if *reportOut == "" {
+			return
+		}
+		if err := writeReportFile(*reportOut, reports); err != nil {
+			fmt.Fprintln(os.Stderr, "apsim:", err)
+			os.Exit(1)
+		}
+	}
+
 	// runCtx builds the per-execution context; expired runs print partial
 	// statistics flagged with "(cancelled)".
 	runCtx := func() (context.Context, context.CancelFunc) {
@@ -151,6 +219,15 @@ func main() {
 		}
 		return ""
 	}
+	// crashExit turns an injected crash into a hard process death with a
+	// distinctive exit code; the soak harness keys its kill/resume loop on
+	// it. The last persisted checkpoint remains valid for the next attempt.
+	crashExit := func(err error) {
+		if err != nil && errors.Is(err, sparseap.ErrCrashInjected) {
+			fmt.Fprintln(os.Stderr, "apsim:", err)
+			os.Exit(17)
+		}
+	}
 	fatal := func(err error) {
 		if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, err)
@@ -159,12 +236,21 @@ func main() {
 	}
 
 	ctx, cancel := runCtx()
-	base, err := eng.RunBaselineContext(ctx, net, input)
+	var base *sparseap.BaselineResult
+	var baseReports []sparseap.Report
+	if useCk || (*reportOut != "" && *system == "ap") {
+		base, baseReports, err = eng.RunBaselineCheckpointed(ctx, net, input, mkRunner("baseline"))
+	} else {
+		base, err = eng.RunBaselineContext(ctx, net, input)
+	}
 	cancel()
+	crashExit(err)
 	fatal(err)
 	fmt.Printf("baseline AP:   %d batches, %d cycles, %d reports, %.3f ms%s\n",
 		base.Batches, base.Cycles, base.Reports, base.TimeNS/1e6, note(err))
 	if *system == "ap" {
+		writeReports(baseReports)
+		markDone()
 		return
 	}
 
@@ -183,12 +269,18 @@ func main() {
 	if *system == "spap" || *system == "all" {
 		ctx, cancel := runCtx()
 		var res *sparseap.ExecResult
-		if *guard {
+		switch {
+		case useCk && *guard:
+			res, err = eng.RunGuardedCheckpointed(ctx, part, input, sparseap.DefaultGuard(), mkRunner("spap"))
+		case useCk:
+			res, err = eng.RunBaseAPSpAPCheckpointed(ctx, part, input, mkRunner("spap"))
+		case *guard:
 			res, err = eng.RunGuarded(ctx, part, input, sparseap.DefaultGuard())
-		} else {
+		default:
 			res, err = eng.RunBaseAPSpAPContext(ctx, part, input)
 		}
 		cancel()
+		crashExit(err)
 		fatal(err)
 		jr := "-"
 		if !math.IsNaN(res.JumpRatio) {
@@ -206,6 +298,11 @@ func main() {
 		if res.Fault.Any() {
 			fmt.Printf("faults hit:    %s\n", res.Fault)
 		}
+		if rs := res.Resume; rs != nil && rs.Resumed {
+			fmt.Printf("resume:        continued in phase %s at position %d (recovered=%v), %d saves this run\n",
+				rs.Phase, rs.Pos, rs.Recovered, rs.Saves)
+		}
+		writeReports(res.Reports)
 	}
 	if *system == "apcpu" || *system == "all" {
 		ctx, cancel := runCtx()
@@ -215,7 +312,41 @@ func main() {
 		fmt.Printf("AP-CPU:        %d executions, %.3f ms (%.3f ms on CPU), %d reports, speedup %.2fx%s\n",
 			res.BaseAPBatches, res.TimeNS/1e6, res.CPUTimeNS/1e6, res.NumReports,
 			base.TimeNS/res.TimeNS, note(err))
+		if *system == "apcpu" {
+			writeReports(res.Reports)
+		}
 	}
+	markDone()
+}
+
+// runFingerprint renders the invocation parameters that determine a run's
+// checkpointed state, for the manifest's identity check.
+func runFingerprint(app, anml, in string, divisor, inputLen int, seed int64, capacity int, system string, guard, opt bool, faultSpec string, faultSeed int64) string {
+	var src string
+	if app != "" {
+		src = workloads.Config{Divisor: divisor, InputLen: inputLen, Seed: seed, Optimize: opt}.Fingerprint(app)
+	} else {
+		src = fmt.Sprintf("anml:%s:in:%s:opt%t", anml, in, opt)
+	}
+	return fmt.Sprintf("%s/cap%d/sys%s/guard%t/fault:%s:s%d", src, capacity, system, guard, faultSpec, faultSeed)
+}
+
+// writeReportFile writes the report stream as one "pos state" line per
+// report — the soak harness's diffable canonical form.
+func writeReportFile(path string, reports []sparseap.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range reports {
+		fmt.Fprintf(w, "%d %d\n", r.Pos, r.State)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace samples the dynamically enabled state count each cycle and

@@ -1,0 +1,39 @@
+package ap
+
+import (
+	"context"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/checkpoint"
+	"sparseap/internal/sim"
+)
+
+// RunBaselineCheckpointedContext is RunBaselineContext with durable
+// checkpoints: the underlying simulation pass snapshots its engine state
+// through ck every Runner.Every symbols and resumes from the newest valid
+// checkpoint instead of re-streaming from symbol 0. The batching model is
+// unchanged — cycle accounting still charges every batch for the full
+// input — so an uninterrupted checkpointed run returns exactly what
+// RunBaselineContext returns, and a resumed one reconstructs the same
+// report stream bit-identically (restored prefix + deterministic re-run).
+// When collect is true the final report list is returned alongside the
+// summary, in stream order, for equivalence checking.
+func RunBaselineCheckpointedContext(ctx context.Context, net *automata.Network, input []byte, cfg Config, collect bool, ck *checkpoint.Runner) (*BaselineResult, []sim.Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	batches, err := PartitionNFAs(net, cfg.Capacity)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := sim.RunCheckpointedContext(ctx, net, input, sim.Options{CollectReports: collect}, ck)
+	if res == nil {
+		return nil, nil, err
+	}
+	return &BaselineResult{
+		Batches: len(batches),
+		Cycles:  int64(len(batches)) * res.Symbols,
+		Reports: res.NumReports,
+		TimeNS:  float64(len(batches)) * float64(res.Symbols) * cfg.CycleNS,
+	}, res.Reports, err
+}

@@ -115,3 +115,18 @@ func (v *Vec) Indices() []int {
 	v.ForEach(func(i int) { out = append(out, i) })
 	return out
 }
+
+// Words returns the backing word slice (length ceil(n/64)). The slice is
+// shared with the vector: callers must treat it as read-only. Snapshot
+// serializers use it to copy the vector without bit-by-bit iteration.
+func (v *Vec) Words() []uint64 { return v.words }
+
+// SetWords overwrites the vector's contents from words, which must have
+// exactly ceil(Len/64) entries. Bits beyond Len must be zero; restore
+// paths use it to load a previously serialized vector in O(words).
+func (v *Vec) SetWords(words []uint64) {
+	if len(words) != len(v.words) {
+		panic("bitvec: SetWords length mismatch")
+	}
+	copy(v.words, words)
+}

@@ -1,0 +1,224 @@
+// Package checkpoint persists execution state durably so interrupted
+// automata runs — crash, cancellation, guard trip, or injected fault —
+// restart from a recent snapshot instead of re-streaming from symbol 0,
+// while still emitting a bit-identical report stream.
+//
+// The package deals in opaque payloads: the sim/ap/spap executors
+// serialize their own state with Enc/Dec and hand the bytes to a Store.
+// The Store's job is crash consistency:
+//
+//   - every save is write-to-temp + fsync + rename, so a kill at any
+//     instant leaves either the old checkpoint or the new one, never a
+//     torn file;
+//   - the previous checkpoint is rotated to a fallback slot before the
+//     rename, so even a save whose rename sequence is interrupted (or a
+//     latest file corrupted at rest) recovers to the previous good one;
+//   - every file carries a magic, a format version, a sequence number,
+//     and a CRC32-C over the payload; Load verifies all four and falls
+//     back, returning ErrNoCheckpoint only when no slot survives.
+//
+// A Manifest ties the checkpoint files of one logical run together: the
+// run's fingerprint (application, scale, seed, capacity, system, fault
+// plan), how many times it has resumed, and which sections completed —
+// the bookkeeping a multi-NFA batched run needs so `-resume` can refuse
+// a mismatched invocation instead of corrupting state.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Magic identifies a checkpoint file (8 bytes, versioned separately).
+const Magic = "SPAPCKPT"
+
+// headerLen is magic(8) + version(4) + seq(8) + payloadLen(8) + crc(4).
+const headerLen = 8 + 4 + 8 + 8 + 4
+
+// ErrNoCheckpoint is returned by Load when neither the latest nor the
+// fallback slot holds a valid checkpoint.
+var ErrNoCheckpoint = errors.New("checkpoint: no valid checkpoint found")
+
+// ErrMismatch is returned when a checkpoint exists but does not belong to
+// the run trying to resume from it (wrong fingerprint, network size,
+// input length, or format version).
+var ErrMismatch = errors.New("checkpoint: existing checkpoint belongs to a different run")
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Store persists named checkpoints in one directory. Each name owns two
+// slots: <name>.ckpt (latest) and <name>.ckpt.prev (previous good).
+type Store struct {
+	dir string
+	seq map[string]uint64 // next sequence number per name
+}
+
+// Open creates (if needed) and opens a checkpoint directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Store{dir: dir, seq: map[string]uint64{}}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path returns the latest-slot path for name.
+func (s *Store) path(name string) string { return filepath.Join(s.dir, name+".ckpt") }
+
+// encodeFile renders the on-disk record: header + payload, CRC over
+// version|seq|len|payload so header corruption is also caught.
+func encodeFile(version uint32, seq uint64, payload []byte) []byte {
+	var e Enc
+	e.buf = make([]byte, 0, headerLen+len(payload))
+	e.buf = append(e.buf, Magic...)
+	e.U32(version)
+	e.U64(seq)
+	e.U64(uint64(len(payload)))
+	crc := crc32.Update(0, castagnoli, e.buf[8:])
+	crc = crc32.Update(crc, castagnoli, payload)
+	e.U32(crc)
+	e.buf = append(e.buf, payload...)
+	return e.buf
+}
+
+// decodeFile verifies and unwraps an on-disk record.
+func decodeFile(b []byte) (version uint32, seq uint64, payload []byte, err error) {
+	if len(b) < headerLen || string(b[:8]) != Magic {
+		return 0, 0, nil, fmt.Errorf("checkpoint: bad magic")
+	}
+	d := NewDec(b[8:])
+	version = d.U32()
+	seq = d.U64()
+	n := d.U64()
+	crc := d.U32()
+	if d.Err() != nil {
+		return 0, 0, nil, d.Err()
+	}
+	payload = b[headerLen:]
+	if uint64(len(payload)) != n {
+		return 0, 0, nil, fmt.Errorf("checkpoint: truncated payload (%d of %d bytes)", len(payload), n)
+	}
+	got := crc32.Update(0, castagnoli, b[8:headerLen-4])
+	got = crc32.Update(got, castagnoli, payload)
+	if got != crc {
+		return 0, 0, nil, fmt.Errorf("checkpoint: CRC mismatch")
+	}
+	return version, seq, payload, nil
+}
+
+// Save atomically persists payload as the latest checkpoint of name. The
+// previous latest (if any) becomes the fallback slot first, so a crash at
+// any point of the sequence leaves at least one valid checkpoint behind.
+func (s *Store) Save(name string, version uint32, payload []byte) error {
+	cur := s.path(name)
+	prev := cur + ".prev"
+	tmp := cur + ".tmp"
+
+	seq := s.seq[name]
+	if seq == 0 {
+		// First save of this process: continue the on-disk sequence.
+		if _, diskSeq, _, err := s.loadSlot(cur); err == nil {
+			seq = diskSeq + 1
+		}
+	}
+	s.seq[name] = seq + 1
+
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := f.Write(encodeFile(version, seq, payload)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// Rotate latest -> fallback, then publish tmp -> latest. A crash
+	// between the renames leaves prev (old good) + tmp (new, complete);
+	// Load falls back to prev, losing at most one capture interval.
+	if _, err := os.Stat(cur); err == nil {
+		if err := os.Rename(cur, prev); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, cur); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadSlot reads and verifies one slot file.
+func (s *Store) loadSlot(path string) (payload []byte, seq uint64, version uint32, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	version, seq, payload, err = decodeFile(b)
+	return payload, seq, version, err
+}
+
+// Load returns the newest valid checkpoint of name: the latest slot when
+// it verifies, otherwise the fallback slot (corruption detection with
+// previous-good fallback). ErrNoCheckpoint means neither slot survives.
+// The returned Fellback flag tells callers a corrupted latest was
+// skipped, so they can log the recovery.
+func (s *Store) Load(name string) (payload []byte, version uint32, fellback bool, err error) {
+	cur := s.path(name)
+	if payload, _, version, err = s.loadSlot(cur); err == nil {
+		return payload, version, false, nil
+	}
+	firstErr := err
+	if payload, _, version, err = s.loadSlot(cur + ".prev"); err == nil {
+		return payload, version, true, nil
+	}
+	if os.IsNotExist(firstErr) && os.IsNotExist(err) {
+		return nil, 0, false, ErrNoCheckpoint
+	}
+	return nil, 0, false, fmt.Errorf("%w (latest: %v; fallback: %v)", ErrNoCheckpoint, firstErr, err)
+}
+
+// Remove deletes every slot of name (latest, fallback, temp). Completed
+// runs use it to retire per-section state while keeping the manifest.
+func (s *Store) Remove(name string) error {
+	cur := s.path(name)
+	var first error
+	for _, p := range []string{cur, cur + ".prev", cur + ".tmp"} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Clear removes every checkpoint file in the store's directory — the
+// fresh-start path when a run begins without -resume.
+func (s *Store) Clear() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ext := filepath.Ext(name); ext == ".ckpt" || ext == ".prev" || ext == ".tmp" {
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+				return fmt.Errorf("checkpoint: %w", err)
+			}
+		}
+	}
+	s.seq = map[string]uint64{}
+	return nil
+}

@@ -1,0 +1,147 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// manifestVersion is the manifest record format version.
+const manifestVersion = 1
+
+// manifestName is the store slot the manifest lives in.
+const manifestName = "manifest"
+
+// Manifest ties the checkpoint streams of one logical run together. A
+// multi-NFA batched run persists several sections (baseline pass, BaseAP
+// phase, per-batch SpAP progress); the manifest records what run they
+// belong to, so -resume can verify it is continuing the same application
+// at the same scale, seed, capacity, system, and fault plan — and refuse
+// otherwise — plus how many times the run has resumed (the chaos epoch)
+// and which sections already completed.
+type Manifest struct {
+	// Fingerprint identifies the run: application + generation config +
+	// execution knobs, as computed by the caller.
+	Fingerprint string
+	// InputLen is the input stream length in symbols.
+	InputLen int64
+	// Resumes counts completed resume handoffs: 0 on the first run, +1
+	// each time a process picks the run back up. Doubles as the chaos
+	// epoch, so an injected-crash schedule re-rolls on every resume and
+	// a soak loop terminates with probability 1.
+	Resumes int64
+	// Completed lists the section names that finished (sorted).
+	Completed []string
+	// Done marks the whole run finished.
+	Done bool
+}
+
+// MarkCompleted records a finished section (idempotent).
+func (m *Manifest) MarkCompleted(section string) {
+	for _, s := range m.Completed {
+		if s == section {
+			return
+		}
+	}
+	m.Completed = append(m.Completed, section)
+	sort.Strings(m.Completed)
+}
+
+// IsCompleted reports whether a section already finished.
+func (m *Manifest) IsCompleted(section string) bool {
+	for _, s := range m.Completed {
+		if s == section {
+			return true
+		}
+	}
+	return false
+}
+
+// encode renders the manifest payload.
+func (m *Manifest) encode(e *Enc) {
+	e.String(m.Fingerprint)
+	e.I64(m.InputLen)
+	e.I64(m.Resumes)
+	e.U64(uint64(len(m.Completed)))
+	for _, s := range m.Completed {
+		e.String(s)
+	}
+	e.Bool(m.Done)
+}
+
+// decodeManifest parses a manifest payload.
+func decodeManifest(b []byte) (*Manifest, error) {
+	d := NewDec(b)
+	m := &Manifest{
+		Fingerprint: d.String(),
+		InputLen:    d.I64(),
+		Resumes:     d.I64(),
+	}
+	n := d.length(1)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.Completed = append(m.Completed, d.String())
+	}
+	m.Done = d.Bool()
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SaveManifest persists the manifest through the store's atomic path.
+func (s *Store) SaveManifest(m *Manifest) error {
+	var e Enc
+	m.encode(&e)
+	return s.Save(manifestName, manifestVersion, e.Bytes())
+}
+
+// LoadManifest returns the stored manifest, or ErrNoCheckpoint when the
+// store holds none.
+func (s *Store) LoadManifest() (*Manifest, error) {
+	payload, version, _, err := s.Load(manifestName)
+	if err != nil {
+		return nil, err
+	}
+	if version != manifestVersion {
+		return nil, fmt.Errorf("%w: manifest version %d, want %d", ErrMismatch, version, manifestVersion)
+	}
+	return decodeManifest(payload)
+}
+
+// ResumeManifest validates and advances the manifest for a resuming run:
+// the stored fingerprint and input length must match, Resumes is bumped
+// (the new chaos epoch) and persisted. When the store has no manifest a
+// fresh one is created with Resumes 0. The returned manifest reflects the
+// persisted state.
+func (s *Store) ResumeManifest(fingerprint string, inputLen int64) (*Manifest, error) {
+	m, err := s.LoadManifest()
+	switch {
+	case errors.Is(err, ErrNoCheckpoint):
+		m = &Manifest{Fingerprint: fingerprint, InputLen: inputLen}
+	case err != nil:
+		return nil, err
+	default:
+		if m.Fingerprint != fingerprint || m.InputLen != inputLen {
+			return nil, fmt.Errorf("%w: stored run %q (%d symbols), this run %q (%d symbols)",
+				ErrMismatch, m.Fingerprint, m.InputLen, fingerprint, inputLen)
+		}
+		m.Resumes++
+	}
+	if err := s.SaveManifest(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FreshManifest clears the store and persists a new manifest for a run
+// starting from scratch (no -resume).
+func (s *Store) FreshManifest(fingerprint string, inputLen int64) (*Manifest, error) {
+	if err := s.Clear(); err != nil {
+		return nil, err
+	}
+	m := &Manifest{Fingerprint: fingerprint, InputLen: inputLen}
+	if err := s.SaveManifest(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,103 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultEvery is the capture interval (in input symbols) used when a
+// Runner's Every is zero: frequent enough that a crash loses well under a
+// second of simulated stream, rare enough that the O(frontier-words) copy
+// plus one fsync'd file write stays invisible next to the step kernel.
+const DefaultEvery = 8192
+
+// ErrCrashInjected is returned by Runner.Check when the chaos hook fires:
+// the soak harness's stand-in for a process kill at a seeded point. A
+// process-level harness (apsim) converts it into a hard exit; in-process
+// tests treat the run as dead and resume from the store.
+var ErrCrashInjected = errors.New("checkpoint: injected crash")
+
+// Runner bundles a Store with one named checkpoint stream and its capture
+// policy. Executors call Due at each loop position, Save with the encoded
+// state when it is, and Check to give the chaos hook a kill point.
+type Runner struct {
+	// Store is the backing store; nil disables checkpointing (every
+	// method degrades to a no-op, so executors need no nil-guards).
+	Store *Store
+	// Name is the checkpoint stream name within the store (one per
+	// execution phase family, e.g. "baseline", "spap").
+	Name string
+	// Every is the capture interval in input symbols (0 = DefaultEvery).
+	Every int64
+	// CrashAt, when non-nil, is polled with each loop position; returning
+	// true injects a crash (ErrCrashInjected) at that point. Wired to
+	// fault.Injector.CrashAt by callers — the checkpoint package stays
+	// free of the fault package to keep the dependency graph acyclic.
+	CrashAt func(pos int64) bool
+
+	saves int64
+}
+
+// every returns the effective capture interval.
+func (r *Runner) every() int64 {
+	if r == nil || r.Every <= 0 {
+		return DefaultEvery
+	}
+	return r.Every
+}
+
+// Enabled reports whether checkpointing is active.
+func (r *Runner) Enabled() bool { return r != nil && r.Store != nil }
+
+// Due reports whether a capture should happen before processing pos.
+// Position 0 is never due (there is nothing to save yet).
+func (r *Runner) Due(pos int64) bool {
+	return r.Enabled() && pos > 0 && pos%r.every() == 0
+}
+
+// Check polls the chaos hook at pos, returning ErrCrashInjected on a hit.
+// Active even when Store is nil so fault-plan runs without -checkpoint
+// still crash (and then fail to resume, which is the point of the flag).
+func (r *Runner) Check(pos int64) error {
+	if r == nil || r.CrashAt == nil {
+		return nil
+	}
+	if r.CrashAt(pos) {
+		return fmt.Errorf("%w at position %d", ErrCrashInjected, pos)
+	}
+	return nil
+}
+
+// Save persists payload under the runner's name. No-op when disabled.
+func (r *Runner) Save(version uint32, payload []byte) error {
+	if !r.Enabled() {
+		return nil
+	}
+	if err := r.Store.Save(r.Name, version, payload); err != nil {
+		return err
+	}
+	r.saves++
+	return nil
+}
+
+// Load returns the newest valid checkpoint, or ErrNoCheckpoint. When
+// disabled it reports ErrNoCheckpoint so resume paths fall through to a
+// fresh start.
+func (r *Runner) Load() (payload []byte, version uint32, fellback bool, err error) {
+	if !r.Enabled() {
+		return nil, 0, false, ErrNoCheckpoint
+	}
+	return r.Store.Load(r.Name)
+}
+
+// Saves returns how many captures this runner has persisted.
+func (r *Runner) Saves() int64 { return r.saves }
+
+// Sub returns a runner sharing the store and policy under a derived name;
+// multi-phase executors use it to give each phase its own stream.
+func (r *Runner) Sub(suffix string) *Runner {
+	if r == nil {
+		return nil
+	}
+	return &Runner{Store: r.Store, Name: r.Name + "." + suffix, Every: r.Every, CrashAt: r.CrashAt}
+}

@@ -52,6 +52,11 @@ const (
 	ReportDrop
 	// LoadFail is a failed batch-configuration load.
 	LoadFail
+	// Crash is a hard process death at a seeded input position — the
+	// chaos-soak fault class. Unlike the hardware classes it is not
+	// absorbed by the executors: a hit kills the run, and recovery means
+	// resuming from the last durable checkpoint.
+	Crash
 )
 
 // String names the kind as the -fault flag spells it.
@@ -67,6 +72,8 @@ func (k Kind) String() string {
 		return "drop"
 	case LoadFail:
 		return "loadfail"
+	case Crash:
+		return "crash"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -92,6 +99,9 @@ type Plan struct {
 	// MaxLoadRetries bounds consecutive reload attempts per batch before
 	// the run errors out; 0 means DefaultMaxLoadRetries.
 	MaxLoadRetries int
+	// CrashRate is the per-symbol probability of a hard process crash
+	// (checked only by checkpointed execution loops; see Injector.CrashAt).
+	CrashRate float64
 }
 
 // DefaultMaxLoadRetries is the reload attempt cap when Plan.MaxLoadRetries
@@ -101,7 +111,7 @@ const DefaultMaxLoadRetries = 8
 // Active reports whether any fault class has a nonzero rate.
 func (p Plan) Active() bool {
 	return p.StuckOffRate > 0 || p.StuckOnRate > 0 || p.EnableFlipRate > 0 ||
-		p.ReportDropRate > 0 || p.LoadFailRate > 0
+		p.ReportDropRate > 0 || p.LoadFailRate > 0 || p.CrashRate > 0
 }
 
 // ParsePlan parses the -fault flag syntax: a comma-separated list of
@@ -132,8 +142,10 @@ func ParsePlan(s string, seed int64) (Plan, error) {
 			p.ReportDropRate = rate
 		case "loadfail":
 			p.LoadFailRate = rate
+		case "crash":
+			p.CrashRate = rate
 		default:
-			return p, fmt.Errorf("fault: unknown kind %q (stuckoff|stuckon|flip|drop|loadfail)", kv[0])
+			return p, fmt.Errorf("fault: unknown kind %q (stuckoff|stuckon|flip|drop|loadfail|crash)", kv[0])
 		}
 	}
 	return p, nil
@@ -177,6 +189,7 @@ const (
 	domDrop    = 4
 	domLoad    = 5
 	domStuckOn = 6
+	domCrash   = 7
 )
 
 // DropReport reports whether the idx-th intermediate report of the run is
@@ -217,6 +230,20 @@ func (in *Injector) MaxLoadRetries() int {
 		return DefaultMaxLoadRetries
 	}
 	return in.plan.MaxLoadRetries
+}
+
+// CrashAt reports whether the chaos plan kills the process before input
+// position pos of resume epoch `epoch` (0 on the first run, incremented
+// by the checkpoint manifest on every resume). Hashing the epoch in means
+// each resume rolls a fresh crash schedule: the soak loop keeps dying at
+// new seeded points but finishes with probability 1, while within one
+// epoch the schedule is a pure function of (seed, epoch, pos) — the same
+// determinism contract as every other fault class.
+func (in *Injector) CrashAt(epoch, pos int64) bool {
+	if in == nil || in.plan.CrashRate == 0 {
+		return false
+	}
+	return in.hash(domCrash, splitmix64(uint64(epoch))^uint64(pos)) < in.plan.CrashRate
 }
 
 // ErrConfigLoad is returned when a batch configuration cannot be loaded

@@ -232,9 +232,28 @@ func AcquireEngine(net *automata.Network, opts Options) *Engine {
 	return ImageOf(net).Acquire(opts)
 }
 
-// Release returns the engine to its image's pool. The engine, and any
-// slice previously obtained from it, must not be used afterwards.
+// maxPooledReportCap bounds the report-slice capacity a pooled engine
+// retains: one report-dense run (a PEN-style storm collects tens of
+// thousands of reports) must not pin a huge backing array in the pool for
+// the rest of the process. 1<<14 reports is 256 KiB — big enough that
+// steady-state runs never reallocate, small enough to keep pooled.
+const maxPooledReportCap = 1 << 14
+
+// Release returns the engine to its image's pool, scrubbing every
+// run-scoped hook first: the report callback, the fault-injection hook,
+// and the ever-enabled view. A recycled engine must behave exactly like a
+// fresh one — in particular it must not replay a previous run's fault
+// plan or deliver reports to a dead consumer. The engine, and any slice
+// previously obtained from it, must not be used afterwards.
 func (e *Engine) Release() {
 	e.OnReport = nil
+	e.Flips = nil
+	e.ever = nil
+	if cap(e.reports) > maxPooledReportCap {
+		e.reports = nil
+	} else {
+		e.reports = e.reports[:0]
+	}
+	e.numReports = 0
 	e.img.pool.Put(e)
 }

@@ -123,6 +123,14 @@ type Engine struct {
 	// OnReport, when non-nil, is invoked for every activated reporting
 	// state instead of appending to the internal report list.
 	OnReport func(pos int64, s automata.StateID)
+
+	// Flips, when non-nil, is polled once per symbol by RunCheckpointed
+	// with the input position; a hit toggles the returned state's enable
+	// bit — the transient enable-flip fault class applied at the sim
+	// layer, deterministic in the absolute position so a resumed run
+	// replays the identical fault pattern. Release clears it: a pooled
+	// engine must never replay a previous run's faults.
+	Flips func(pos int64) (automata.StateID, bool)
 }
 
 // Options configures a run.
@@ -185,6 +193,7 @@ func (e *Engine) configure(opts Options) {
 		e.ever = nil
 	}
 	e.OnReport = nil
+	e.Flips = nil
 	e.denseSteps, e.sparseSteps = 0, 0
 	e.Reset()
 }

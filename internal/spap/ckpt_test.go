@@ -1,0 +1,404 @@
+package spap
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sparseap/internal/checkpoint"
+	"sparseap/internal/fault"
+	"sparseap/internal/hotcold"
+	"sparseap/internal/regexc"
+)
+
+// chainApp builds a long stream over the "abcde" chain pattern profiled
+// so the deep states land cold: a workload with a substantial SpAP phase.
+func chainApp(t *testing.T, n int) (p *hotcold.Partition, input []byte) {
+	t.Helper()
+	net, err := regexc.CompileAll([]string{"abcde"}, regexc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := []byte("ab abcde xx abcde ")
+	input = bytes.Repeat(unit, (n+len(unit)-1)/len(unit))[:n]
+	return buildPartition(t, net, input[:2]), input
+}
+
+// ckResultsEqual asserts a checkpointed result is identical to the plain
+// executor's, field by field (Resume bookkeeping excluded by design).
+func ckResultsEqual(t *testing.T, tag string, got, want *Result) {
+	t.Helper()
+	if got.BaseAPBatches != want.BaseAPBatches || got.ColdBatches != want.ColdBatches ||
+		got.SpAPExecutions != want.SpAPExecutions ||
+		got.IntermediateReports != want.IntermediateReports ||
+		got.EnableStalls != want.EnableStalls || got.QueueRefills != want.QueueRefills ||
+		got.BaseAPCycles != want.BaseAPCycles || got.SpAPCycles != want.SpAPCycles ||
+		got.SpAPProcessed != want.SpAPProcessed || got.TotalCycles != want.TotalCycles ||
+		got.NumReports != want.NumReports {
+		t.Fatalf("%s: counters diverged:\ngot  %+v\nwant %+v", tag, got, want)
+	}
+	if len(got.SpAPBatchCycles) != len(want.SpAPBatchCycles) {
+		t.Fatalf("%s: SpAPBatchCycles %v vs %v", tag, got.SpAPBatchCycles, want.SpAPBatchCycles)
+	}
+	for i := range got.SpAPBatchCycles {
+		if got.SpAPBatchCycles[i] != want.SpAPBatchCycles[i] {
+			t.Fatalf("%s: SpAPBatchCycles %v vs %v", tag, got.SpAPBatchCycles, want.SpAPBatchCycles)
+		}
+	}
+	if !(math.IsNaN(got.JumpRatio) && math.IsNaN(want.JumpRatio)) && got.JumpRatio != want.JumpRatio {
+		t.Fatalf("%s: JumpRatio %v vs %v", tag, got.JumpRatio, want.JumpRatio)
+	}
+	if len(got.Reports) != len(want.Reports) {
+		t.Fatalf("%s: %d reports vs %d", tag, len(got.Reports), len(want.Reports))
+	}
+	for i := range got.Reports {
+		if got.Reports[i] != want.Reports[i] {
+			t.Fatalf("%s: report %d = %+v, want %+v (order must be bit-identical)",
+				tag, i, got.Reports[i], want.Reports[i])
+		}
+	}
+	if got.Fault != want.Fault {
+		t.Fatalf("%s: fault stats %+v vs %+v", tag, got.Fault, want.Fault)
+	}
+	if (got.Guard == nil) != (want.Guard == nil) {
+		t.Fatalf("%s: guard presence %v vs %v", tag, got.Guard != nil, want.Guard != nil)
+	}
+	if got.Guard != nil {
+		a, b := got.Guard, want.Guard
+		if a.Attempts != b.Attempts || a.Trips != b.Trips || a.WastedCycles != b.WastedCycles ||
+			a.Widened != b.Widened || a.FallbackBaseline != b.FallbackBaseline ||
+			a.BatchFallbacks != b.BatchFallbacks || a.FallbackCycles != b.FallbackCycles ||
+			len(a.TripPos) != len(b.TripPos) {
+			t.Fatalf("%s: guard stats:\ngot  %+v\nwant %+v", tag, a, b)
+		}
+		for i := range a.TripPos {
+			if a.TripPos[i] != b.TripPos[i] {
+				t.Fatalf("%s: TripPos %v vs %v", tag, a.TripPos, b.TripPos)
+			}
+		}
+	}
+}
+
+// killSched injects crashes at global chaos-hook-poll thresholds; the
+// counter spans resumes, so every threshold fires exactly once.
+type killSched struct {
+	checks int64
+	at     []int64
+	next   int
+}
+
+func (k *killSched) hook(pos int64) bool {
+	k.checks++
+	if k.next < len(k.at) && k.checks >= k.at[k.next] {
+		k.next++
+		return true
+	}
+	return false
+}
+
+// seededKills distributes nKills thresholds across the poll volume of an
+// uninterrupted run of `probe`, so crashes land in every phase the
+// workload reaches (early BaseAP through the tail of the cold phase).
+func seededKills(t *testing.T, nKills int, probe func(ck *checkpoint.Runner) error) *killSched {
+	t.Helper()
+	count := &killSched{}
+	if err := probe(&checkpoint.Runner{CrashAt: count.hook}); err != nil {
+		t.Fatalf("probe run: %v", err)
+	}
+	if count.checks < int64(nKills) {
+		t.Fatalf("workload too small: %d chaos polls", count.checks)
+	}
+	s := &killSched{}
+	for i := 1; i <= nKills; i++ {
+		s.at = append(s.at, count.checks*int64(2*i-1)/int64(2*nKills))
+	}
+	return s
+}
+
+// runUntilDone drives a checkpointed run through its kill schedule,
+// re-invoking after each injected crash until it completes. It returns
+// the final result and the phases the run resumed into.
+func runUntilDone(t *testing.T, sched *killSched, store *checkpoint.Store, every int64,
+	run func(ck *checkpoint.Runner) (*Result, error)) (*Result, []string) {
+	t.Helper()
+	var phases []string
+	for attempt := 0; ; attempt++ {
+		if attempt > len(sched.at)+2 {
+			t.Fatalf("kill/resume loop did not converge after %d attempts", attempt)
+		}
+		ck := &checkpoint.Runner{Store: store, Name: "spap", Every: every, CrashAt: sched.hook}
+		res, err := run(ck)
+		if res != nil && res.Resume != nil && res.Resume.Resumed {
+			phases = append(phases, res.Resume.Phase)
+		}
+		if err == nil {
+			if sched.next != len(sched.at) {
+				t.Fatalf("only %d of %d kill points fired", sched.next, len(sched.at))
+			}
+			return res, phases
+		}
+		if !errors.Is(err, checkpoint.ErrCrashInjected) {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+	}
+}
+
+func TestCheckpointedDisabledMatchesPlain(t *testing.T) {
+	ctx := context.Background()
+	p, input := chainApp(t, 2048)
+	cfg, opts := cfgWithCapacity(100), Options{CollectReports: true}
+	want, err := RunBaseAPSpAP(p, input, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunBaseAPSpAPCheckpointed(ctx, p, input, cfg, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckResultsEqual(t, "chain", got, want)
+	if got.Resume == nil || got.Resume.Resumed || got.Resume.Saves != 0 {
+		t.Fatalf("disabled-runner Resume = %+v", got.Resume)
+	}
+
+	// Property sweep: random applications, random inputs — the
+	// checkpointed phase machine must be execution-equivalent.
+	r := rand.New(rand.NewSource(4099))
+	for trial := 0; trial < 40; trial++ {
+		net, in := randomApp(r)
+		if len(in) < 4 {
+			continue
+		}
+		pp, err := hotcold.BuildFromProfile(net, in[:len(in)/2], hotcold.Options{})
+		if err != nil {
+			continue // unprofilable app; equivalence is vacuous
+		}
+		capacity := 5 + r.Intn(60)
+		w, werr := RunBaseAPSpAP(pp, in, cfgWithCapacity(capacity), opts)
+		g, gerr := RunBaseAPSpAPCheckpointed(ctx, pp, in, cfgWithCapacity(capacity), opts, nil)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("trial %d: error divergence: %v vs %v", trial, werr, gerr)
+		}
+		if werr == nil {
+			ckResultsEqual(t, "random", g, w)
+		}
+	}
+}
+
+func TestCheckpointedGuardedLadderMatchesPlain(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name  string
+		g     Guard
+		storm bool
+	}{
+		{"healthy", Guard{}, false},
+		{"widen-retry", Guard{MinReports: 64, HopelessFactor: 1000}, true},
+		{"hopeless-fallback", Guard{MinReports: 64}, true},
+		{"batch-fallback", Guard{ReportBudget: 100, StallBudget: 1e-9, MinReports: 1 << 40}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var p *hotcold.Partition
+			var input []byte
+			if tc.storm {
+				p, input = buildStorm(t, 4, 16, 4096)
+			} else {
+				p, input = chainApp(t, 2048)
+			}
+			want, err := RunGuarded(ctx, p, input, cfgWithCapacity(100), tc.g, Options{CollectReports: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunGuardedCheckpointed(ctx, p, input, cfgWithCapacity(100), tc.g, Options{CollectReports: true}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ckResultsEqual(t, tc.name, got, want)
+		})
+	}
+}
+
+func TestCheckpointedUninterruptedWithStoreMatchesPlain(t *testing.T) {
+	ctx := context.Background()
+	p, input := chainApp(t, 2048)
+	cfg, opts := cfgWithCapacity(100), Options{CollectReports: true}
+	want, err := RunBaseAPSpAP(p, input, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &checkpoint.Runner{Store: store, Name: "spap", Every: 64}
+	got, err := RunBaseAPSpAPCheckpointed(ctx, p, input, cfg, opts, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckResultsEqual(t, "with-store", got, want)
+	if got.Resume.Saves == 0 {
+		t.Fatal("expected periodic saves with an enabled store")
+	}
+	// A second invocation short-circuits on the done-phase record.
+	again, err := RunBaseAPSpAPCheckpointed(ctx, p, input, cfg, opts, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckResultsEqual(t, "done-replay", again, want)
+	if !again.Resume.Resumed || again.Resume.Phase != "done" {
+		t.Fatalf("done replay Resume = %+v", again.Resume)
+	}
+}
+
+func TestCheckpointedCrashResumeUnguarded(t *testing.T) {
+	ctx := context.Background()
+	p, input := chainApp(t, 4096)
+	cfg, opts := cfgWithCapacity(100), Options{CollectReports: true}
+	want, err := RunBaseAPSpAP(p, input, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := seededKills(t, 5, func(ck *checkpoint.Runner) error {
+		_, err := RunBaseAPSpAPCheckpointed(ctx, p, input, cfg, opts, ck)
+		return err
+	})
+	store, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, phases := runUntilDone(t, sched, store, 64, func(ck *checkpoint.Runner) (*Result, error) {
+		return RunBaseAPSpAPCheckpointed(ctx, p, input, cfg, opts, ck)
+	})
+	ckResultsEqual(t, "crash-resume", got, want)
+	seen := map[string]bool{}
+	for _, ph := range phases {
+		seen[ph] = true
+	}
+	if !seen["baseap"] || !seen["spap"] {
+		t.Fatalf("kill points did not span both phases: resumed into %v", phases)
+	}
+}
+
+func TestCheckpointedCrashResumeGuardedWiden(t *testing.T) {
+	ctx := context.Background()
+	p, input := buildStorm(t, 4, 16, 4096)
+	g := Guard{MinReports: 64, HopelessFactor: 1000}
+	want, err := RunGuarded(ctx, p, input, cfgWithCapacity(100), g, Options{CollectReports: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := seededKills(t, 5, func(ck *checkpoint.Runner) error {
+		_, err := RunGuardedCheckpointed(ctx, p, input, cfgWithCapacity(100), g, Options{CollectReports: true}, ck)
+		return err
+	})
+	store, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := runUntilDone(t, sched, store, 64, func(ck *checkpoint.Runner) (*Result, error) {
+		return RunGuardedCheckpointed(ctx, p, input, cfgWithCapacity(100), g, Options{CollectReports: true}, ck)
+	})
+	ckResultsEqual(t, "guarded-widen", got, want)
+	if got.Guard == nil || !got.Guard.Widened || got.Guard.Attempts != 2 {
+		t.Fatalf("widen ladder lost across resumes: %+v", got.Guard)
+	}
+}
+
+func TestCheckpointedCrashResumeGuardedFallback(t *testing.T) {
+	ctx := context.Background()
+	p, input := buildStorm(t, 4, 16, 4096)
+	g := Guard{MinReports: 64} // hopeless storm: falls back to baseline
+	want, err := RunGuarded(ctx, p, input, cfgWithCapacity(100), g, Options{CollectReports: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := seededKills(t, 5, func(ck *checkpoint.Runner) error {
+		_, err := RunGuardedCheckpointed(ctx, p, input, cfgWithCapacity(100), g, Options{CollectReports: true}, ck)
+		return err
+	})
+	store, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, phases := runUntilDone(t, sched, store, 64, func(ck *checkpoint.Runner) (*Result, error) {
+		return RunGuardedCheckpointed(ctx, p, input, cfgWithCapacity(100), g, Options{CollectReports: true}, ck)
+	})
+	ckResultsEqual(t, "guarded-fallback", got, want)
+	if got.Guard == nil || !got.Guard.FallbackBaseline {
+		t.Fatalf("fallback ladder lost across resumes: %+v", got.Guard)
+	}
+	seen := map[string]bool{}
+	for _, ph := range phases {
+		seen[ph] = true
+	}
+	if !seen["fallback"] {
+		t.Fatalf("no kill point landed in the fallback phase: resumed into %v", phases)
+	}
+}
+
+func TestCheckpointedFaultPlanCrashResume(t *testing.T) {
+	ctx := context.Background()
+	p, input := chainApp(t, 4096)
+	inj := fault.New(fault.Plan{Seed: 3, EnableFlipRate: 0.002, ReportDropRate: 0.1})
+	cfg := cfgWithCapacity(100)
+	opts := Options{CollectReports: true, Faults: inj}
+	want, err := RunBaseAPSpAP(p, input, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := seededKills(t, 5, func(ck *checkpoint.Runner) error {
+		_, err := RunBaseAPSpAPCheckpointed(ctx, p, input, cfg, opts, ck)
+		return err
+	})
+	store, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := runUntilDone(t, sched, store, 64, func(ck *checkpoint.Runner) (*Result, error) {
+		return RunBaseAPSpAPCheckpointed(ctx, p, input, cfg, opts, ck)
+	})
+	// The fault plan is hash-seeded by position, so the interrupted run
+	// replays the exact same flips and drops as the uninterrupted one.
+	ckResultsEqual(t, "faulted", got, want)
+	if got.Fault.Flips == 0 && got.Fault.DroppedReports == 0 {
+		t.Fatal("fault plan never fired; test is vacuous")
+	}
+}
+
+func TestCheckpointedGuardModeMismatch(t *testing.T) {
+	ctx := context.Background()
+	p, input := chainApp(t, 2048)
+	store, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &killSched{at: []int64{400}}
+	ck := &checkpoint.Runner{Store: store, Name: "spap", Every: 64, CrashAt: sched.hook}
+	if _, err := RunBaseAPSpAPCheckpointed(ctx, p, input, cfgWithCapacity(100), Options{}, ck); !errors.Is(err, checkpoint.ErrCrashInjected) {
+		t.Fatalf("expected injected crash, got %v", err)
+	}
+	// Resuming a plain run through the guarded entry point must refuse.
+	ck2 := &checkpoint.Runner{Store: store, Name: "spap", Every: 64}
+	if _, err := RunGuardedCheckpointed(ctx, p, input, cfgWithCapacity(100), Guard{}, Options{}, ck2); !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Fatalf("guarded resume of a plain checkpoint: err = %v, want ErrMismatch", err)
+	}
+}
+
+func TestCheckpointedStateVersionMismatch(t *testing.T) {
+	ctx := context.Background()
+	p, input := chainApp(t, 512)
+	store, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save("spap", spapStateVersion+1, []byte("future")); err != nil {
+		t.Fatal(err)
+	}
+	ck := &checkpoint.Runner{Store: store, Name: "spap", Every: 64}
+	if _, err := RunBaseAPSpAPCheckpointed(ctx, p, input, cfgWithCapacity(100), Options{}, ck); !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Fatalf("future-version checkpoint: err = %v, want ErrMismatch", err)
+	}
+}

@@ -119,6 +119,9 @@ type Result struct {
 	// Guard holds watchdog statistics when the run went through
 	// RunGuarded; nil otherwise.
 	Guard *GuardStats
+	// Resume holds checkpoint/resume bookkeeping when the run went
+	// through a checkpointed entry point; nil otherwise.
+	Resume *ResumeStats
 }
 
 // Options configures an execution.

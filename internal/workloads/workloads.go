@@ -90,6 +90,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Fingerprint renders the generation parameters that determine a built
+// application bit-for-bit. Checkpoint manifests store it so a resumed run
+// can verify it is continuing the same application at the same scale and
+// seed, and refuse to splice state from a different one.
+func (c Config) Fingerprint(abbr string) string {
+	c = c.withDefaults()
+	return fmt.Sprintf("%s/d%d/n%d/s%d/opt%t", abbr, c.Divisor, c.InputLen, c.Seed, c.Optimize)
+}
+
 // scaled returns a paper-sized count divided by the configured divisor,
 // with a floor of 1.
 func (c Config) scaled(paperCount int) int {

@@ -5,9 +5,9 @@
 #   scripts/check.sh -short    # skip the race pass (quick pre-commit loop)
 #
 # Steps: gofmt, go vet, staticcheck (when installed), build, full test
-# suite, race-detector pass over the packages with real concurrency (the
-# simulators and fault injection), a fuzz smoke pass over the parser/
-# compiler/rewriter fuzz targets, the fault-injection smoke sweep, the
+# suite, race-detector pass over the whole module, a fuzz smoke pass over
+# the parser/compiler/rewriter fuzz targets, the fault-injection smoke
+# sweep, a chaos-soak smoke cell (kill/resume with stream comparison), the
 # apopt certificate-checked rewrite of the suite, and the aplint sweep of
 # the generated workload suite.
 set -euo pipefail
@@ -43,8 +43,8 @@ echo "== go test =="
 go test ./...
 
 if [[ $short -eq 0 ]]; then
-    echo "== go test -race (simulators + fault injection) =="
-    go test -race ./internal/sim ./internal/spap ./internal/fault
+    echo "== go test -race (whole module) =="
+    go test -race ./...
 fi
 
 if [[ $short -eq 0 ]]; then
@@ -79,6 +79,14 @@ if [[ $short -eq 0 ]]; then
         done
     done
     echo "smoke sweep: 24 cells green"
+fi
+
+if [[ $short -eq 0 ]]; then
+    # Chaos-soak smoke: one kill/resume cell through the full apsim
+    # surface (durable store, -resume, stream diff). The in-process soak
+    # lives in chaos_test.go; this exercises the process-kill path.
+    echo "== chaos soak smoke (1 app) =="
+    SOAK_INPUT=8192 scripts/soak.sh HM
 fi
 
 # One-app smoke of the throughput mode: exercises the kernel benchmarks,
