@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	apbench [-exp all|table2,fig1,fig5,table1,fig8,fig10,fig11,fig12,table4,fig13,ablation,sensitivity,resilience] \
+//	apbench [-exp all|table2,fig1,fig5,table1,fig8,fig10,fig11,fig12,table4,fig13,ablation,sensitivity,resilience,predict] \
 //	        [-divisor 8] [-input 131072] [-capacity 3000] [-seed 1]
 //
 // The defaults run the 1/8-scaled configuration described in DESIGN.md:
@@ -20,6 +20,17 @@
 // -out. With -check it exits nonzero if the adaptive kernel is more than
 // -tolerance slower than the sparse walk on any selected app — a
 // machine-independent regression gate CI runs on the PEN/Snort benches.
+//
+// Prediction mode:
+//
+//	apbench -predict [-apps all|PEN,Snort,...] [-out BENCH_predict.json] [-check] \
+//	        [-divisor 8] [-input 131072] [-capacity 3000] [-seed 1]
+//
+// runs the profile-free static partitioning study (exp.Predict) and writes
+// the per-app speedups and geomeans to -out. With -check it exits nonzero
+// if the static strategy's geomean speedup falls below the
+// normalized-depth baseline's, or if any strategy's report stream
+// diverges — the CI bench-predict gate.
 package main
 
 import (
@@ -58,6 +69,7 @@ func experiments() []experiment {
 		{"ablation", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Ablation(s) }},
 		{"sensitivity", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Sensitivity(s) }},
 		{"resilience", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Resilience(s) }},
+		{"predict", func(s *exp.Suite) (interface{ Render() string }, error) { return exp.Predict(s, nil) }},
 	}
 }
 
@@ -75,6 +87,8 @@ func main() {
 		benchtime = flag.String("benchtime", "1s", "throughput mode: time (or Nx iterations) per measurement")
 		checkFlag = flag.Bool("check", false, "throughput mode: fail if the adaptive kernel regresses vs the sparse walk")
 		tolerance = flag.Float64("tolerance", 0.20, "throughput mode: allowed adaptive-vs-sparse slowdown for -check")
+
+		predictFlag = flag.Bool("predict", false, "prediction mode: static vs profiled partitioning study, write JSON")
 	)
 	testing.Init() // registers test.benchtime before Parse; throughput mode sets it
 	flag.Parse()
@@ -83,6 +97,17 @@ func main() {
 	if *jsonFlag {
 		if err := runThroughput(wl, *appsFlag, *outFlag, *benchtime, *checkFlag, *tolerance); err != nil {
 			fmt.Fprintf(os.Stderr, "apbench -json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *predictFlag {
+		out := *outFlag
+		if out == "BENCH_sim.json" { // the throughput-mode default; not meaningful here
+			out = "BENCH_predict.json"
+		}
+		if err := runPredict(wl, *appsFlag, *capacity, out, *checkFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "apbench -predict: %v\n", err)
 			os.Exit(1)
 		}
 		return

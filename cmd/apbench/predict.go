@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"sparseap/internal/ap"
+	"sparseap/internal/exp"
+	"sparseap/internal/workloads"
+)
+
+// Prediction mode (-predict): the profile-free static partitioning study,
+// written as BENCH_predict.json so the repository carries the measured
+// static-vs-profiled trajectory. With -check it doubles as the CI
+// bench-predict gate: the static strategy's geomean speedup must not fall
+// below the normalized-depth baseline's, and every strategy's report
+// stream must be identical.
+
+// predictApp is one application's row in BENCH_predict.json.
+type predictApp struct {
+	App            string  `json:"app"`
+	Static         float64 `json:"static"`
+	Profiled       float64 `json:"profiled"`
+	Fixed          float64 `json:"fixed"`
+	NormDepth      float64 `json:"norm_depth"`
+	Oracle         float64 `json:"oracle"`
+	PredHotFrac    float64 `json:"pred_hot_frac"`
+	ProfHotFrac    float64 `json:"prof_hot_frac"`
+	WithinProfiled bool    `json:"within_profiled"`
+}
+
+// predictFile is the BENCH_predict.json schema.
+type predictFile struct {
+	Config struct {
+		Divisor    int     `json:"divisor"`
+		InputLen   int     `json:"input_len"`
+		Capacity   int     `json:"capacity"`
+		Seed       int64   `json:"seed"`
+		FixedParam float64 `json:"fixed_param"`
+		DepthParam float64 `json:"depth_param"`
+		Tolerance  float64 `json:"tolerance"`
+		Go         string  `json:"go"`
+	} `json:"config"`
+	Apps     []predictApp `json:"apps"`
+	Geomeans struct {
+		Static    float64 `json:"static"`
+		Profiled  float64 `json:"profiled"`
+		Fixed     float64 `json:"fixed"`
+		NormDepth float64 `json:"norm_depth"`
+		Oracle    float64 `json:"oracle"`
+	} `json:"geomeans"`
+	WithinProfiled   int  `json:"within_profiled"`
+	ReportsIdentical bool `json:"reports_identical"`
+}
+
+// runPredict executes the -predict mode and returns an error on failure
+// (including a -check gate trip).
+func runPredict(wl workloads.Config, appsFlag string, capacity int, outPath string, check bool) error {
+	var names []string
+	if appsFlag != "all" {
+		for _, n := range strings.Split(appsFlag, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+	suite := exp.NewSuite(wl, ap.DefaultConfig().WithCapacity(capacity))
+	res, err := exp.Predict(suite, names)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+
+	var out predictFile
+	out.Config.Divisor = wl.Divisor
+	out.Config.InputLen = wl.InputLen
+	out.Config.Capacity = capacity
+	out.Config.Seed = wl.Seed
+	out.Config.FixedParam = res.FixedParam
+	out.Config.DepthParam = res.DepthParam
+	out.Config.Tolerance = exp.PredictTolerance
+	out.Config.Go = runtime.Version()
+	for _, row := range res.Rows {
+		out.Apps = append(out.Apps, predictApp{
+			App:            row.Abbr,
+			Static:         row.Static,
+			Profiled:       row.Profiled,
+			Fixed:          row.Fixed,
+			NormDepth:      row.NormDepth,
+			Oracle:         row.Oracle,
+			PredHotFrac:    row.PredHotFrac,
+			ProfHotFrac:    row.ProfHotFrac,
+			WithinProfiled: row.WithinProfiled,
+		})
+	}
+	out.Geomeans.Static = res.GeoStatic
+	out.Geomeans.Profiled = res.GeoProfiled
+	out.Geomeans.Fixed = res.GeoFixed
+	out.Geomeans.NormDepth = res.GeoNormDepth
+	out.Geomeans.Oracle = res.GeoOracle
+	out.WithinProfiled = res.WithinProfiled
+	out.ReportsIdentical = res.ReportsIdentical
+
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+
+	if check {
+		var failures []string
+		if !res.ReportsIdentical {
+			failures = append(failures, "report streams diverged across strategies")
+		}
+		if res.GeoStatic < res.GeoNormDepth {
+			failures = append(failures, fmt.Sprintf(
+				"static geomean speedup %.3f below normalized-depth baseline %.3f",
+				res.GeoStatic, res.GeoNormDepth))
+		}
+		if len(failures) > 0 {
+			return fmt.Errorf("prediction gate failed:\n  %s", strings.Join(failures, "\n  "))
+		}
+		fmt.Printf("check passed: static %.3f ≥ norm-depth %.3f, reports identical\n",
+			res.GeoStatic, res.GeoNormDepth)
+	}
+	return nil
+}

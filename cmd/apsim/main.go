@@ -41,6 +41,7 @@ func main() {
 		inPath    = flag.String("in", "", "input stream file (with -anml)")
 		system    = flag.String("system", "all", "execution system: ap, apcpu, spap, or all")
 		profile   = flag.Float64("profile", 0.01, "profiling input fraction")
+		strategy  = flag.String("strategy", "profiled", "partition strategy: profiled (paper, default) or static (profile-free hotness analysis)")
 		capacity  = flag.Int("capacity", 3000, "AP half-core capacity in STEs")
 		divisor   = flag.Int("divisor", 8, "workload scale divisor (with -app)")
 		inputLen  = flag.Int("input", 131072, "generated input length (with -app)")
@@ -254,17 +255,32 @@ func main() {
 		return
 	}
 
-	n := int(*profile * float64(len(input)))
-	if n < 1 {
-		n = 1
+	var part *sparseap.Partition
+	switch *strategy {
+	case "profiled":
+		n := int(*profile * float64(len(input)))
+		if n < 1 {
+			n = 1
+		}
+		part, err = eng.Partition(net, input[:n])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("partition:     %.1f%% resource saving, %d intermediate reporting states (profiled on %d symbols)\n",
+			100*part.ResourceSaving(), part.NumIntermediate, n)
+	case "static":
+		part, err = eng.PartitionStatic(net)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("partition:     %.1f%% resource saving, %d intermediate reporting states (static hotness analysis, no profiling)\n",
+			100*part.ResourceSaving(), part.NumIntermediate)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -strategy %q (want profiled or static)\n", *strategy)
+		os.Exit(2)
 	}
-	part, err := eng.Partition(net, input[:n])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Printf("partition:     %.1f%% resource saving, %d intermediate reporting states (profiled on %d symbols)\n",
-		100*part.ResourceSaving(), part.NumIntermediate, n)
 
 	if *system == "spap" || *system == "all" {
 		ctx, cancel := runCtx()

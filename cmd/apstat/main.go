@@ -17,7 +17,9 @@ import (
 	"sparseap/internal/ap"
 	"sparseap/internal/exp"
 	"sparseap/internal/graph"
+	"sparseap/internal/hotness"
 	"sparseap/internal/metrics"
+	"sparseap/internal/sim"
 	"sparseap/internal/workloads"
 )
 
@@ -31,6 +33,7 @@ func main() {
 		inputLen = flag.Int("input", 131072, "generated input length")
 		seed     = flag.Int64("seed", 1, "generation seed")
 		opt      = flag.Bool("opt", false, "also show states/edges after the proof-carrying rewriter (apopt)")
+		hot      = flag.Bool("hotness", false, "also show the static hotness analysis (predicted hot fraction, per-NFA cut layers; with -app, accuracy vs the actual hot set)")
 	)
 	flag.Parse()
 	wl := workloads.Config{Divisor: *divisor, InputLen: *inputLen, Seed: *seed}
@@ -57,6 +60,9 @@ func main() {
 			fail(err)
 		}
 		printStats(app.Name, app.Net, *opt)
+		if *hot {
+			printHotness(app.Net, app.Input)
+		}
 	case *anmlPath != "":
 		f, err := os.Open(*anmlPath)
 		if err != nil {
@@ -68,6 +74,9 @@ func main() {
 			fail(err)
 		}
 		printStats(*anmlPath, net, *opt)
+		if *hot {
+			printHotness(net, nil)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -139,6 +148,53 @@ func printStats(name string, net *sparseap.Network, opt bool) {
 		t.AddRowf("STE saving %", saved)
 	}
 	fmt.Printf("%s\n%s", name, t)
+}
+
+// printHotness renders the static hotness analysis: predicted hot
+// fraction, score distribution and the per-NFA static cut summary. With a
+// non-nil input it also scores the prediction against the actual hot set
+// that input enables (accuracy, and the two error directions separately —
+// a miss costs an intermediate report, a false alarm only wastes hot
+// capacity).
+func printHotness(net *sparseap.Network, input []byte) {
+	a := hotness.Analyze(net, hotness.Config{})
+	pred := a.Hot()
+	k := a.Layers()
+	sumK, sumMax := int64(0), int64(0)
+	full := 0
+	for u, ku := range k {
+		sumK += int64(ku)
+		sumMax += int64(a.Topo.MaxPerNFA[u])
+		if ku == a.Topo.MaxPerNFA[u] {
+			full++
+		}
+	}
+	t := metrics.NewTable("Hotness", "Value")
+	t.AddRowf("predicted hot states", pred.Count())
+	t.AddRowf("predicted hot fraction", a.HotFrac())
+	t.AddRowf("mean static cut k/max", fmt.Sprintf("%.2f/%.2f",
+		float64(sumK)/float64(len(k)), float64(sumMax)/float64(len(k))))
+	t.AddRowf("NFAs cut fully hot", fmt.Sprintf("%d of %d", full, len(k)))
+	if input != nil {
+		actual := sim.HotStates(net, input)
+		agree, misses, alarms := 0, 0, 0
+		for s := 0; s < net.Len(); s++ {
+			p, h := pred.Get(s), actual.Get(s)
+			switch {
+			case p == h:
+				agree++
+			case h:
+				misses++
+			default:
+				alarms++
+			}
+		}
+		t.AddRowf("actual hot states", actual.Count())
+		t.AddRowf("prediction accuracy", float64(agree)/float64(net.Len()))
+		t.AddRowf("missed hot (cost: intermediates)", misses)
+		t.AddRowf("false alarms (cost: capacity)", alarms)
+	}
+	fmt.Print(t)
 }
 
 func fail(err error) {

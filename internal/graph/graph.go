@@ -197,9 +197,15 @@ func TopoOrder(n *automata.Network) *Topo {
 	return t
 }
 
-// NormalizedDepth returns Order[s]/MaxPerNFA[nfa(s)] in (0, 1].
+// NormalizedDepth returns Order[s]/MaxPerNFA[nfa(s)] in (0, 1]. An NFA
+// whose maximum order is 0 has a single (degenerate) layer; every state
+// in it is defined to be at full depth 1 rather than NaN, which
+// Bucket would otherwise silently classify as Deep.
 func (t *Topo) NormalizedDepth(n *automata.Network, s automata.StateID) float64 {
 	max := t.MaxPerNFA[n.NFAOf[s]]
+	if max == 0 {
+		return 1
+	}
 	return float64(t.Order[s]) / float64(max)
 }
 

@@ -304,3 +304,22 @@ func dfsHasCycle(n *automata.Network) bool {
 	}
 	return false
 }
+
+func TestNormalizedDepthDegenerateLayer(t *testing.T) {
+	// An NFA whose maximum order is 0 (a Topo over a degenerate or
+	// hand-built layer map) must report full depth 1, not NaN: the old
+	// 0/0 silently classified every such state as Deep via Bucket.
+	net := buildNet(1, nil)
+	tp := &Topo{
+		Order:     []int32{0},
+		MaxPerNFA: []int32{0},
+		SCC:       SCC(net),
+	}
+	d := tp.NormalizedDepth(net, 0)
+	if d != 1.0 {
+		t.Fatalf("NormalizedDepth with MaxPerNFA=0 = %v, want 1.0", d)
+	}
+	if b := Bucket(d); b != Deep {
+		t.Errorf("Bucket(%v) = %v, want Deep (by definition, not by NaN fallthrough)", d, b)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sparseap/internal/automata"
 	"sparseap/internal/bitvec"
 	"sparseap/internal/graph"
+	"sparseap/internal/hotness"
 )
 
 // Strategy selects how partition layers are chosen. The paper's scheme is
@@ -28,6 +29,9 @@ const (
 	// StrategyOracle chooses k_U from the hot set of the *actual* test
 	// input — the unattainable upper bound of Section III-C.
 	StrategyOracle
+	// StrategyStatic predicts the hot set from structure alone via the
+	// internal/hotness abstract interpretation — zero profiling cost.
+	StrategyStatic
 )
 
 // String names the strategy.
@@ -41,6 +45,8 @@ func (s Strategy) String() string {
 		return "normalized-depth"
 	case StrategyOracle:
 		return "oracle"
+	case StrategyStatic:
+		return "static"
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
@@ -54,6 +60,12 @@ type StrategyInput struct {
 	// Param is the layer count (StrategyFixedLayers) or normalized depth
 	// threshold (StrategyNormalizedDepth).
 	Param float64
+	// Hotness, when non-nil, supplies a precomputed static analysis for
+	// StrategyStatic; when nil, one is computed from HotnessCfg.
+	Hotness *hotness.Analysis
+	// HotnessCfg configures the StrategyStatic analysis when Hotness is
+	// nil; the zero value uses the hotness package defaults.
+	HotnessCfg hotness.Config
 }
 
 // Layers computes per-NFA partition layers under the given strategy.
@@ -63,12 +75,29 @@ func Layers(net *automata.Network, topo *graph.Topo, s Strategy, in StrategyInpu
 		if in.ProfiledHot == nil {
 			return nil, fmt.Errorf("hotcold: %v needs ProfiledHot", s)
 		}
+		if net.Len() > 0 && in.ProfiledHot.Count() == 0 {
+			return nil, fmt.Errorf("hotcold: %v got an empty ProfiledHot set (a profiling run always enables start states; an empty set means the profile is missing, and cutting at layer 0 would be silently wrong)", s)
+		}
 		return PartitionLayers(net, topo, in.ProfiledHot), nil
 	case StrategyOracle:
 		if in.OracleHot == nil {
 			return nil, fmt.Errorf("hotcold: %v needs OracleHot", s)
 		}
+		if net.Len() > 0 && in.OracleHot.Count() == 0 {
+			return nil, fmt.Errorf("hotcold: %v got an empty OracleHot set", s)
+		}
 		return PartitionLayers(net, topo, in.OracleHot), nil
+	case StrategyStatic:
+		a := in.Hotness
+		if a == nil {
+			cfg := in.HotnessCfg
+			cfg.Topo = topo
+			a = hotness.Analyze(net, cfg)
+		}
+		// The analysis floors each cut at layer 1; alignToSCCs then
+		// raises it over deep-seated start states exactly as for the
+		// other behaviour-blind strategies.
+		return alignToSCCs(net, topo, a.Layers()), nil
 	case StrategyFixedLayers:
 		if in.Param < 1 {
 			return nil, fmt.Errorf("hotcold: %v needs Param >= 1", s)

@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"sparseap/internal/automata"
+	"sparseap/internal/bitvec"
 	"sparseap/internal/graph"
+	"sparseap/internal/hotness"
 	"sparseap/internal/sim"
 	"sparseap/internal/symset"
 )
@@ -78,8 +80,15 @@ func TestLayersErrors(t *testing.T) {
 		{StrategyProfiled, StrategyInput{}},
 		{StrategyOracle, StrategyInput{}},
 		{StrategyFixedLayers, StrategyInput{Param: 0}},
+		{StrategyFixedLayers, StrategyInput{Param: -3}},
+		{StrategyFixedLayers, StrategyInput{Param: 0.99}},
 		{StrategyNormalizedDepth, StrategyInput{Param: 0}},
+		{StrategyNormalizedDepth, StrategyInput{Param: -0.5}},
 		{StrategyNormalizedDepth, StrategyInput{Param: 1.5}},
+		// Empty hot vectors must error, not silently cut at layer 0: a
+		// real profiling or oracle run always enables the start states.
+		{StrategyProfiled, StrategyInput{ProfiledHot: bitvec.New(net.Len())}},
+		{StrategyOracle, StrategyInput{OracleHot: bitvec.New(net.Len())}},
 		{Strategy(99), StrategyInput{}},
 	}
 	for _, c := range cases {
@@ -132,5 +141,77 @@ func TestBuildWithStrategyEndToEnd(t *testing.T) {
 		if p.Cold.Len() == 0 {
 			t.Fatalf("%v: expected a cold fragment", s)
 		}
+	}
+}
+
+func TestLayersParamBoundaries(t *testing.T) {
+	// Valid boundary params must succeed and produce in-range cuts.
+	net := automata.NewNetwork(chainNFA("abcd"))
+	topo := graph.TopoOrder(net)
+	cases := []struct {
+		s     Strategy
+		param float64
+	}{
+		{StrategyFixedLayers, 1},
+		{StrategyFixedLayers, 99}, // clamped to MaxPerNFA
+		{StrategyNormalizedDepth, 1e-9},
+		{StrategyNormalizedDepth, 1},
+	}
+	for _, c := range cases {
+		k, err := Layers(net, topo, c.s, StrategyInput{Param: c.param})
+		if err != nil {
+			t.Errorf("%v Param=%g: %v", c.s, c.param, err)
+			continue
+		}
+		for u, ku := range k {
+			if ku < 1 || ku > topo.MaxPerNFA[u] {
+				t.Errorf("%v Param=%g: k[%d]=%d out of [1,%d]",
+					c.s, c.param, u, ku, topo.MaxPerNFA[u])
+			}
+		}
+	}
+}
+
+func TestStrategyStaticLayers(t *testing.T) {
+	// Static layers need no input vectors at all, stay in range, and are
+	// SCC-aligned like every other behaviour-blind strategy.
+	net := automata.NewNetwork(chainNFA("abcd"), chainNFA("xy"))
+	topo := graph.TopoOrder(net)
+	k, err := Layers(net, topo, StrategyStatic, StrategyInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k) != net.NumNFAs() {
+		t.Fatalf("len(k) = %d, want %d", len(k), net.NumNFAs())
+	}
+	for u, ku := range k {
+		if ku < 1 || ku > topo.MaxPerNFA[u] {
+			t.Errorf("k[%d] = %d out of [1,%d]", u, ku, topo.MaxPerNFA[u])
+		}
+	}
+	// A precomputed analysis must yield the same cut as the implicit one.
+	a := hotness.Analyze(net, hotness.Config{Topo: topo})
+	k2, err := Layers(net, topo, StrategyStatic, StrategyInput{Hotness: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range k {
+		if k[u] != k2[u] {
+			t.Errorf("precomputed analysis diverged: k[%d] %d vs %d", u, k[u], k2[u])
+		}
+	}
+	if StrategyStatic.String() != "static" {
+		t.Errorf("String() = %q", StrategyStatic.String())
+	}
+}
+
+func TestBuildWithStrategyStatic(t *testing.T) {
+	net := automata.NewNetwork(chainNFA("abcd"))
+	p, err := BuildWithStrategy(net, StrategyStatic, StrategyInput{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }

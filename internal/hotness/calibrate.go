@@ -1,0 +1,143 @@
+package hotness
+
+import (
+	"math"
+	"sync"
+)
+
+// Feedback is one guarded run's observed outcome, fed back by
+// spap.RunGuarded when its Options carry a Calibrator. Mispredicts is
+// the intermediate-report count — every intermediate report is a hot→cold
+// boundary crossing the static cut failed to keep on the hot side — and
+// Symbols the input length it accrued over. Trips, Widened and
+// FallbackBaseline mirror the guard ladder's escalation counters: a
+// widened or fallen-back run means the cut was badly wrong, not just
+// leaky.
+type Feedback struct {
+	Mispredicts      int
+	Symbols          int
+	Trips            int
+	Widened          int
+	FallbackBaseline int
+}
+
+// Calibrator closes the prediction loop online: it tracks an exponential
+// moving average of the observed misprediction density (intermediate
+// reports per input symbol) and nudges the score bias so future analyses
+// cut deeper when the static prediction proved too shallow and shallower
+// when it proved conservative. It is safe for concurrent use; guarded
+// runs execute on worker pools.
+type Calibrator struct {
+	// Target is the acceptable misprediction density. The paper's
+	// evaluation tolerates roughly one intermediate report per few
+	// hundred symbols before SpAP stalls dominate; 0 means
+	// DefaultTarget.
+	Target float64
+	// Alpha is the EWMA smoothing factor in (0,1]; 0 means
+	// DefaultAlpha.
+	Alpha float64
+	// Gain scales the bias correction per observation; 0 means
+	// DefaultGain.
+	Gain float64
+
+	mu       sync.Mutex
+	density  float64 // EWMA of mispredicts/symbol
+	seen     int     // observations folded in
+	bias     float64 // accumulated score-bias correction
+	escalate int     // runs that widened or fell back to baseline
+}
+
+// Calibrator defaults.
+const (
+	// DefaultTarget is the acceptable intermediate-report density
+	// (one per 256 symbols).
+	DefaultTarget = 1.0 / 256
+	// DefaultAlpha is the EWMA smoothing factor.
+	DefaultAlpha = 0.25
+	// DefaultGain converts log-density error into score bias.
+	DefaultGain = 0.05
+	// maxBias bounds the accumulated correction so a pathological
+	// stream cannot push every score to 0 or 1 permanently.
+	maxBias = 0.35
+)
+
+// Observe folds one run's outcome into the moving averages and updates
+// the bias correction. Runs with zero symbols are ignored.
+func (c *Calibrator) Observe(fb Feedback) {
+	if fb.Symbols <= 0 {
+		return
+	}
+	target := c.Target
+	if target <= 0 {
+		target = DefaultTarget
+	}
+	alpha := c.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultAlpha
+	}
+	gain := c.Gain
+	if gain <= 0 {
+		gain = DefaultGain
+	}
+	d := float64(fb.Mispredicts) / float64(fb.Symbols)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seen == 0 {
+		c.density = d
+	} else {
+		c.density = alpha*d + (1-alpha)*c.density
+	}
+	c.seen++
+	if fb.Widened > 0 || fb.FallbackBaseline > 0 {
+		c.escalate++
+	}
+	// Error in log space, clamped to ±1 decade per observation: density
+	// 10× over target pulls the bias up by one gain unit (hotter scores
+	// → deeper cuts → fewer intermediate reports); density under target
+	// pushes it down, so an over-conservative cut gradually releases
+	// cold states. A widened or fallen-back run is direct evidence the
+	// cut was too shallow regardless of the density the surviving
+	// attempt showed (widening itself removes the intermediates), so
+	// escalation forces a full decade of upward error.
+	err := math.Log10((c.density + 1e-12) / target)
+	if err > 1 {
+		err = 1
+	} else if err < -1 {
+		err = -1
+	}
+	if fb.Widened > 0 || fb.FallbackBaseline > 0 {
+		err = 1
+	}
+	c.bias += gain * err
+	if c.bias > maxBias {
+		c.bias = maxBias
+	} else if c.bias < -maxBias {
+		c.bias = -maxBias
+	}
+}
+
+// Bias returns the accumulated score-bias correction in
+// [-maxBias, +maxBias]. Positive means "predict hotter" (the static cut
+// was too shallow).
+func (c *Calibrator) Bias() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bias
+}
+
+// Density returns the EWMA misprediction density and the number of
+// observations it covers.
+func (c *Calibrator) Density() (float64, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.density, c.seen
+}
+
+// Apply returns cfg with the calibrated bias folded into its weights, for
+// the next Analyze round. The receiver's state is unchanged.
+func (c *Calibrator) Apply(cfg Config) Config {
+	cfg = cfg.withDefaults()
+	cfg.Weights.Bias += c.Bias()
+	return cfg
+}

@@ -1,0 +1,75 @@
+// Hotness analyzers AP023–AP024: findings derived from the static
+// hot/cold prediction (internal/hotness) — the profile-free stand-in for
+// the paper's Section IV-A profiling run.
+package lint
+
+import (
+	"fmt"
+)
+
+// hotFractionThreshold is the predicted hot fraction at or above which
+// AP023 reports: when nearly every state is expected hot, a hot/cold
+// partition cannot shed meaningful capacity and BaseAP+SpAP degenerates
+// to running the whole network hot with extra plumbing.
+const hotFractionThreshold = 0.9
+
+func init() {
+	Register(analyzerPredictedHotFraction)
+	Register(analyzerStaticCut)
+}
+
+var analyzerPredictedHotFraction = &Analyzer{
+	Code:       "AP023",
+	Name:       "predicted-hot-fraction",
+	Doc:        "statically predicted hot-state fraction of the network, from the activation-mass fixpoint; reported when so high that hot/cold partitioning cannot pay off",
+	Default:    Info,
+	NeedsSound: true,
+	Run: func(p *Pass, a *Analyzer) []Diagnostic {
+		if p.Net.Len() == 0 {
+			return nil
+		}
+		if p.Opts.Capacity > 0 && p.Net.Len() <= p.Opts.Capacity {
+			return nil // fits in one half-core: nothing would be partitioned anyway
+		}
+		h := p.Hotness()
+		frac := h.HotFrac()
+		if frac < hotFractionThreshold {
+			return nil
+		}
+		return []Diagnostic{{
+			Code: a.Code, Severity: a.Default, NFA: -1, State: -1,
+			Msg: fmt.Sprintf("static analysis predicts %.0f%% of states hot (threshold %.0f%%): a hot/cold partition would shed almost no capacity",
+				frac*100, hotFractionThreshold*100),
+			Fix: "run whole-network BaseAP, or narrow the input alphabet/model if the real traffic is more selective than assumed",
+		}}
+	},
+}
+
+var analyzerStaticCut = &Analyzer{
+	Code:       "AP024",
+	Name:       "static-cut",
+	Doc:        "predicted partition layer k_U of an oversized NFA from the static hotness analysis, with the residual activation mass left above the cut",
+	Default:    Info,
+	NeedsSound: true,
+	Run: func(p *Pass, a *Analyzer) []Diagnostic {
+		if p.Opts.Capacity <= 0 {
+			return nil
+		}
+		var layers []int32 // computed lazily: most networks have no oversized NFA
+		var out []Diagnostic
+		for i := 0; i < p.Net.NumNFAs(); i++ {
+			if p.Net.NFASize(i) <= p.Opts.Capacity {
+				continue // fits whole: no partition pressure (AP009/AP021 cover the rest)
+			}
+			if layers == nil {
+				layers = p.Hotness().Layers()
+			}
+			k := layers[i]
+			res := p.Hotness().ResidualActivity(i, k)
+			out = append(out, nfaDiag(a, a.Default, i,
+				fmt.Sprintf("NFA exceeds capacity %d (%d states); static hotness analysis predicts partition layer k=%d of %d, leaving ≈%.4f expected activations/symbol above the cut",
+					p.Opts.Capacity, p.Net.NFASize(i), k, p.Topo().MaxPerNFA[i], res), ""))
+		}
+		return out
+	},
+}

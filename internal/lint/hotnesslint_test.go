@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// denseNet builds a network of wide all-input matchers: the static
+// analysis predicts every state hot.
+func denseNet(states int) *automata.Network {
+	m := automata.NewNFA()
+	var prev automata.StateID
+	for i := 0; i < states; i++ {
+		s := m.Add(symset.Range(0, 250), automata.StartAllInput, i == states-1)
+		if i > 0 {
+			m.Connect(prev, s)
+		}
+		prev = s
+	}
+	return automata.NewNetwork(m)
+}
+
+// sparseNet builds a deep chain of single-symbol matchers: beyond the
+// head, predicted activity decays geometrically and the tail is cold.
+func sparseNet(states int) *automata.Network {
+	m := automata.NewNFA()
+	var prev automata.StateID
+	for i := 0; i < states; i++ {
+		s := m.Add(symset.Single(byte('a'+i%20)), automata.StartNone, i == states-1)
+		if i == 0 {
+			s = m.Add(symset.Single('a'), automata.StartAllInput, false)
+		}
+		if i > 0 {
+			m.Connect(prev, s)
+		}
+		prev = s
+	}
+	return automata.NewNetwork(m)
+}
+
+func TestAP023FiresOnDenseNetwork(t *testing.T) {
+	res := Run(denseNet(10), Options{Enable: []string{"AP023"}})
+	codes := codesOf(res)
+	if codes["AP023"] != 1 {
+		t.Fatalf("AP023 count = %d, want 1; diags: %v", codes["AP023"], res.Diags)
+	}
+	d := res.Diags[0]
+	if d.Severity != Info || d.NFA != -1 {
+		t.Errorf("AP023 diag = %+v, want network-level Info", d)
+	}
+	if !strings.Contains(d.Msg, "hot") {
+		t.Errorf("AP023 msg %q lacks hot fraction", d.Msg)
+	}
+
+	// A network that fits whole in the half-core is never partitioned, so
+	// the "partitioning won't pay" note would be noise.
+	res = Run(denseNet(10), Options{Enable: []string{"AP023"}, Capacity: 100})
+	if n := codesOf(res)["AP023"]; n != 0 {
+		t.Errorf("AP023 fired %d times though the network fits in capacity", n)
+	}
+}
+
+func TestAP023QuietOnSparseNetwork(t *testing.T) {
+	res := Run(sparseNet(30), Options{Enable: []string{"AP023"}})
+	if n := codesOf(res)["AP023"]; n != 0 {
+		t.Fatalf("AP023 fired %d times on a cold-tailed chain", n)
+	}
+}
+
+func TestAP024ReportsStaticCutForOversizedNFA(t *testing.T) {
+	net := sparseNet(30)
+	// Capacity below the NFA size forces a partition; AP024 must report
+	// the predicted cut.
+	res := Run(net, Options{Enable: []string{"AP024"}, Capacity: 10})
+	codes := codesOf(res)
+	if codes["AP024"] != 1 {
+		t.Fatalf("AP024 count = %d, want 1; diags: %v", codes["AP024"], res.Diags)
+	}
+	d := res.Diags[0]
+	if d.NFA != 0 || d.Severity != Info {
+		t.Errorf("AP024 diag = %+v, want NFA 0 Info", d)
+	}
+	if !strings.Contains(d.Msg, "partition layer k=") {
+		t.Errorf("AP024 msg %q lacks predicted layer", d.Msg)
+	}
+
+	// Without capacity pressure the analyzer is silent.
+	res = Run(net, Options{Enable: []string{"AP024"}})
+	if n := codesOf(res)["AP024"]; n != 0 {
+		t.Errorf("AP024 fired %d times with Capacity unset", n)
+	}
+	res = Run(net, Options{Enable: []string{"AP024"}, Capacity: 100})
+	if n := codesOf(res)["AP024"]; n != 0 {
+		t.Errorf("AP024 fired %d times though the NFA fits", n)
+	}
+}
+
+func TestHotnessMemoized(t *testing.T) {
+	p := &Pass{Net: denseNet(5)}
+	if p.Hotness() != p.Hotness() {
+		t.Error("Pass.Hotness not memoized")
+	}
+}

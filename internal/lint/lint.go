@@ -30,6 +30,7 @@ import (
 	"sparseap/internal/automata"
 	"sparseap/internal/dataflow"
 	"sparseap/internal/graph"
+	"sparseap/internal/hotness"
 	"sparseap/internal/rewrite"
 	"sparseap/internal/symset"
 )
@@ -236,6 +237,7 @@ type Pass struct {
 	reach        []bool
 	coreach      []bool
 	facts        *dataflow.Facts
+	hot          *hotness.Analysis
 	opt          *rewrite.Result
 	optErr       error
 	optDone      bool
@@ -315,6 +317,21 @@ func (p *Pass) Facts() *dataflow.Facts {
 		p.facts = dataflow.Analyze(p.Net, p.Opts.Alphabet)
 	}
 	return p.facts
+}
+
+// Hotness returns the static hotness analysis under the configured
+// alphabet and the package-default model and weights, computed once. It
+// shares the memoized Topo and Facts. Callers must only use it from
+// NeedsSound analyzers.
+func (p *Pass) Hotness() *hotness.Analysis {
+	if p.hot == nil {
+		p.hot = hotness.Analyze(p.Net, hotness.Config{
+			Alphabet: p.Opts.Alphabet,
+			Topo:     p.Topo(),
+			Facts:    p.Facts(),
+		})
+	}
+	return p.hot
 }
 
 // RewriteOptions returns the rewriter configuration matching this run's

@@ -34,6 +34,7 @@ import (
 	"sparseap/internal/automata"
 	"sparseap/internal/fault"
 	"sparseap/internal/hotcold"
+	"sparseap/internal/hotness"
 	"sparseap/internal/lint"
 	"sparseap/internal/sim"
 )
@@ -233,6 +234,29 @@ func (w *watchdog) isTripped() bool { return w.tripped }
 // preserved in every path. On cancellation the partial result is returned
 // with ctx.Err().
 func RunGuarded(ctx context.Context, p *hotcold.Partition, input []byte, cfg ap.Config, g Guard, opts Options) (*Result, error) {
+	res, err := runGuarded(ctx, p, input, cfg, g, opts)
+	// Close the static-prediction loop: every intermediate report is a
+	// hot→cold boundary crossing the partition cut failed to keep hot, so
+	// the guarded run's outcome is exactly the misprediction evidence the
+	// hotness calibrator consumes.
+	if opts.Calibrate != nil && res != nil && res.Guard != nil {
+		fb := hotness.Feedback{
+			Mispredicts: int(res.IntermediateReports),
+			Symbols:     len(input),
+			Trips:       res.Guard.Trips,
+		}
+		if res.Guard.Widened {
+			fb.Widened = 1
+		}
+		if res.Guard.FallbackBaseline {
+			fb.FallbackBaseline = 1
+		}
+		opts.Calibrate.Observe(fb)
+	}
+	return res, err
+}
+
+func runGuarded(ctx context.Context, p *hotcold.Partition, input []byte, cfg ap.Config, g Guard, opts Options) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

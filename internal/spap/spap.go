@@ -27,6 +27,7 @@ import (
 	"sparseap/internal/automata"
 	"sparseap/internal/fault"
 	"sparseap/internal/hotcold"
+	"sparseap/internal/hotness"
 	"sparseap/internal/sim"
 )
 
@@ -137,6 +138,12 @@ type Options struct {
 	// apply them to the network with fault.Injector.InjectStuck before
 	// partitioning.
 	Faults *fault.Injector
+	// Calibrate, when non-nil, receives each guarded run's misprediction
+	// outcome (intermediate-report count, guard trips/widenings/
+	// fallbacks) so the static hotness analysis can recalibrate its
+	// score weights online. Only RunGuarded observes it; the unguarded
+	// entry points leave it untouched.
+	Calibrate *hotness.Calibrator
 }
 
 // RunBaseAPSpAP executes the partition under the BaseAP/SpAP system of

@@ -4,12 +4,13 @@
 #   scripts/check.sh           # full gate
 #   scripts/check.sh -short    # skip the race pass (quick pre-commit loop)
 #
-# Steps: gofmt, go vet, staticcheck (when installed), build, full test
-# suite, race-detector pass over the whole module, a fuzz smoke pass over
-# the parser/compiler/rewriter fuzz targets, the fault-injection smoke
-# sweep, a chaos-soak smoke cell (kill/resume with stream comparison), the
-# apopt certificate-checked rewrite of the suite, and the aplint sweep of
-# the generated workload suite.
+# Steps: gofmt, go vet, staticcheck and govulncheck (when installed),
+# build, full test suite, race-detector pass over the whole module, a fuzz
+# smoke pass over the parser/compiler/rewriter fuzz targets, the
+# fault-injection smoke sweep, a chaos-soak smoke cell (kill/resume with
+# stream comparison), throughput and prediction smoke cells of apbench,
+# the apopt certificate-checked rewrite of the suite, and the aplint sweep
+# of the generated workload suite.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,6 +35,16 @@ if command -v staticcheck >/dev/null 2>&1; then
     staticcheck ./...
 else
     echo "== staticcheck (skipped: not installed; CI runs it) =="
+fi
+
+# govulncheck likewise: optional locally, pinned in CI. The module is
+# stdlib-only, so findings can only come from the standard library or the
+# toolchain itself.
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "== govulncheck =="
+    govulncheck ./...
+else
+    echo "== govulncheck (skipped: not installed; CI runs it) =="
 fi
 
 echo "== go build =="
@@ -97,6 +108,15 @@ bench_out=$(mktemp)
 go run ./cmd/apbench -json -apps HM -divisor 64 -input 8192 -benchtime 20ms \
     -out "$bench_out" -check
 rm -f "$bench_out"
+
+# Prediction-mode smoke: the static-vs-profiled study on a small app set,
+# with the gate on (static geomean >= normalized-depth, identical report
+# streams) — the same check CI's bench-predict job runs.
+echo "== apbench predict smoke =="
+predict_out=$(mktemp)
+go run ./cmd/apbench -predict -apps PEN,Snort,HM,Brill -divisor 64 -input 8192 \
+    -capacity 375 -out "$predict_out" -check
+rm -f "$predict_out"
 
 # Rewrite the whole suite with the certificate chain re-verified: any
 # unsound rewrite plan fails the gate here before it could reach users.

@@ -151,6 +151,15 @@ func (e *Engine) Partition(net *Network, profInput []byte) (*Partition, error) {
 	return hotcold.BuildFromProfile(net, profInput, hotcold.Options{Capacity: e.AP.Capacity})
 }
 
+// PartitionStatic builds the hot/cold partition from the static hotness
+// analysis alone — no profiling input required. The report stream of any
+// partitioned execution is identical to Partition's; only the cycle cost
+// differs with prediction quality.
+func (e *Engine) PartitionStatic(net *Network) (*Partition, error) {
+	return hotcold.BuildWithStrategy(net, hotcold.StrategyStatic, hotcold.StrategyInput{},
+		hotcold.Options{Capacity: e.AP.Capacity})
+}
+
 // RunBaseAPSpAP executes a partition under the BaseAP/SpAP system and
 // collects the final reports.
 func (e *Engine) RunBaseAPSpAP(p *Partition, input []byte) (*ExecResult, error) {
