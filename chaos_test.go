@@ -3,9 +3,14 @@ package sparseap_test
 import (
 	"context"
 	"errors"
+	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"sparseap"
 	"sparseap/internal/workloads"
@@ -221,5 +226,173 @@ func TestChaosSoakBaselineWithCorruption(t *testing.T) {
 	}
 	if !sameReports(got, wantReports) {
 		t.Fatalf("baseline resumed stream diverged: %d vs %d reports", len(got), len(wantReports))
+	}
+}
+
+// serveChaosHarness is one in-process server generation over a shared
+// checkpoint directory: aborting it and starting the next generation is
+// the in-process stand-in for SIGKILL + restart (the out-of-process
+// version, with a real SIGKILL, lives in scripts/serve_soak.sh).
+type serveChaosHarness struct {
+	t    *testing.T
+	dir  string
+	apps []*workloads.App
+	cfg  workloads.Config
+
+	mu  sync.Mutex
+	s   *sparseap.MatchServer
+	ts  *httptest.Server
+	url atomic.Value
+}
+
+func newServeChaosHarness(t *testing.T, abbrs []string) *serveChaosHarness {
+	t.Helper()
+	h := &serveChaosHarness{t: t, dir: t.TempDir(),
+		cfg: workloads.Config{Divisor: 64, InputLen: 131072}}
+	for _, abbr := range abbrs {
+		app, err := workloads.Build(abbr, h.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.apps = append(h.apps, app)
+	}
+	h.start()
+	return h
+}
+
+// start brings up the next server generation over the shared store.
+func (h *serveChaosHarness) start() {
+	h.t.Helper()
+	store, err := sparseap.OpenCheckpointStore(h.dir)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	s := sparseap.NewMatchServer(sparseap.ServeConfig{Store: store, Every: 2048})
+	for _, app := range h.apps {
+		if err := s.AddApp(app.Abbr, app.Net, h.cfg.Fingerprint(app.Abbr)); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	h.t.Cleanup(ts.Close)
+	h.mu.Lock()
+	h.s, h.ts = s, ts
+	h.mu.Unlock()
+	h.url.Store(ts.URL)
+}
+
+// TestChaosServeKillResume is the serve chaos cell: three applications
+// stream concurrently through the server, the server is killed twice
+// mid-stream (crash semantics: no checkpoint on the way down) and
+// restarted over the same store, and every resumed session must deliver
+// a report stream bit-identical to an uninterrupted local run — no
+// duplicates, no losses.
+func TestChaosServeKillResume(t *testing.T) {
+	abbrs := []string{"HM", "PEN", "TCP"}
+	h := newServeChaosHarness(t, abbrs)
+
+	type gen struct {
+		s  *sparseap.MatchServer
+		ts *httptest.Server
+	}
+	// Kill schedule: two kills while the streams are in flight.
+	done := make(chan struct{})
+	var kills int
+	go func() {
+		defer close(done)
+		for _, delay := range []time.Duration{40 * time.Millisecond, 120 * time.Millisecond} {
+			time.Sleep(delay)
+			h.mu.Lock()
+			old := gen{h.s, h.ts}
+			h.mu.Unlock()
+			h.start() // next generation over the same store
+			old.s.Abort()
+			old.ts.CloseClientConnections()
+			kills++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(h.apps))
+	retries := new(atomic.Int64)
+	for i, app := range h.apps {
+		wg.Add(1)
+		go func(i int, app *workloads.App) {
+			defer wg.Done()
+			cl := &sparseap.ServeClient{
+				URL:    func() string { return h.url.Load().(string) },
+				Tenant: fmt.Sprintf("tenant-%d", i),
+				Chunk:  512,
+				Pace:   300 * time.Microsecond, // stretch past both kills
+			}
+			res, err := cl.Stream(context.Background(), app.Abbr, app.Input)
+			retries.Add(cl.Retries.Load())
+			if err != nil {
+				errs <- fmt.Errorf("%s: %w", app.Abbr, err)
+				return
+			}
+			want := sparseap.Match(app.Net, app.Input)
+			if !sameReports(res.Reports, want) {
+				errs <- fmt.Errorf("%s: resumed stream diverged: %d vs %d reports",
+					app.Abbr, len(res.Reports), len(want))
+				return
+			}
+			errs <- nil
+		}(i, app)
+	}
+	wg.Wait()
+	<-done
+	for range h.apps {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if kills != 2 {
+		t.Fatalf("kill schedule fired %d of 2 kills", kills)
+	}
+	if retries.Load() == 0 {
+		t.Fatal("no client ever retried — the kills missed every stream and the cell tested nothing")
+	}
+}
+
+// TestChaosServeOverload drives the loadgen's overload phase against a
+// deliberately tiny server: the server must shed explicitly (non-zero
+// shed count) and never fail a request it accepted.
+func TestChaosServeOverload(t *testing.T) {
+	cfg := workloads.Config{Divisor: 64, InputLen: 65536}
+	s := sparseap.NewMatchServer(sparseap.ServeConfig{MaxSessions: 2, MaxPerTenant: 1})
+	app, err := workloads.Build("HM", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddApp("HM", app.Net, cfg.Fingerprint("HM")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	bench, err := sparseap.RunServeLoadgen(context.Background(), sparseap.LoadgenOptions{
+		URL:           ts.URL,
+		Apps:          []string{"HM"},
+		AppConfig:     cfg,
+		StreamsPerApp: 1,
+		Requests:      8,
+		Overload:      48,
+		Tenants:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.StreamsOK != bench.Streams {
+		t.Fatalf("only %d/%d streams verified", bench.StreamsOK, bench.Streams)
+	}
+	if bench.OverloadShed == 0 {
+		t.Fatalf("overload burst produced no sheds (accepted %d)", bench.OverloadOK)
+	}
+	if bench.FailedAccepted != 0 {
+		t.Fatalf("%d accepted requests failed — admission control accepted work it could not serve", bench.FailedAccepted)
+	}
+	if bench.P50Ms <= 0 || bench.P99Ms < bench.P50Ms {
+		t.Fatalf("latency percentiles malformed: p50=%.3f p99=%.3f", bench.P50Ms, bench.P99Ms)
 	}
 }

@@ -1,0 +1,178 @@
+// Command apserve runs the fault-tolerant multi-tenant streaming match
+// service, or drives one as a load generator.
+//
+// Server mode (default) makes a set of workload-suite applications
+// resident and serves the session protocol over HTTP:
+//
+//	apserve -addr :8425 -store /var/lib/apserve -apps HM,PEN,TCP
+//
+// SIGTERM/SIGINT drain gracefully: new work is refused with 503 and
+// every in-flight stream session is checkpointed and suspended, so
+// clients resume against the next process. SIGKILL (or a crash) loses
+// nothing either — sessions resume from their last durable capture with
+// exactly-once report delivery.
+//
+// Loadgen mode exercises a running server and writes a benchmark record:
+//
+//	apserve -loadgen -url http://127.0.0.1:8425 -apps HM,PEN,TCP \
+//	        -streams 2 -requests 64 -overload 32 -bench BENCH_serve.json
+//
+// Every completed stream is verified bit-identical against a local
+// uninterrupted run, so the loadgen doubles as an end-to-end checker.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sparseap/internal/checkpoint"
+	"sparseap/internal/serve"
+	"sparseap/internal/workloads"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8425", "listen address (server mode)")
+		storeDir = flag.String("store", "", "checkpoint store directory (empty = sessions not resumable)")
+		apps     = flag.String("apps", "HM,PEN,TCP", "comma-separated workload abbreviations to make resident")
+		divisor  = flag.Int("divisor", 8, "workload scale divisor")
+		inputLen = flag.Int("input", 131072, "generated input length")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		every    = flag.Int64("every", 0, "checkpoint capture interval in symbols (0 = 8192)")
+
+		maxSessions  = flag.Int("max-sessions", 256, "global concurrent session cap (shed 503 beyond)")
+		maxPerTenant = flag.Int("max-per-tenant", 32, "per-tenant concurrent session cap (shed 429 beyond)")
+		rate         = flag.Float64("rate", 64, "per-tenant admission rate (sessions/sec)")
+		burst        = flag.Float64("burst", 0, "per-tenant admission burst (0 = 2x rate)")
+		memBudget    = flag.Int64("membudget", 0, "resident memory budget in bytes (0 = unlimited)")
+		drainWait    = flag.Duration("drain", 30*time.Second, "graceful drain timeout on SIGTERM")
+
+		loadgen  = flag.Bool("loadgen", false, "run as load generator against -url instead of serving")
+		url      = flag.String("url", "http://127.0.0.1:8425", "server base URL (loadgen mode)")
+		streams  = flag.Int("streams", 2, "verified stream sessions per app (loadgen mode)")
+		requests = flag.Int("requests", 64, "match requests in the latency phase (loadgen mode)")
+		overload = flag.Int("overload", 0, "concurrent burst size for the overload phase (loadgen mode, 0 = skip)")
+		tenants  = flag.Int("tenants", 4, "tenant identities to spread load across (loadgen mode)")
+		pace     = flag.Duration("pace", 0, "sleep between stream chunk writes, stretching streams for chaos kills (loadgen mode)")
+		benchOut = flag.String("bench", "", "write the benchmark record JSON to this file (loadgen mode)")
+	)
+	flag.Parse()
+
+	cfg := workloads.Config{Divisor: *divisor, InputLen: *inputLen, Seed: *seed}
+	abbrs := splitApps(*apps)
+
+	if *loadgen {
+		runLoadgen(*url, abbrs, cfg, *streams, *requests, *overload, *tenants, *pace, *benchOut)
+		return
+	}
+
+	scfg := serve.Config{
+		Every:        *every,
+		MaxSessions:  *maxSessions,
+		MaxPerTenant: *maxPerTenant,
+		RatePerSec:   *rate,
+		Burst:        *burst,
+		MemBudget:    *memBudget,
+	}
+	if *storeDir != "" {
+		store, err := checkpoint.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		scfg.Store = store
+	}
+	s := serve.New(scfg)
+	for _, abbr := range abbrs {
+		app, err := workloads.Build(abbr, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.AddApp(abbr, app.Net, cfg.Fingerprint(abbr)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("apserve: %s resident (%d states)\n", abbr, app.Net.Len())
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("apserve: listening on %s (store=%q)\n", l.Addr(), *storeDir)
+
+	// Drain closes the HTTP server, so Serve returns nil mid-drain; wait
+	// for the drain goroutine before exiting or its outcome is lost.
+	drained := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigCh
+		fmt.Printf("apserve: %v: draining (timeout %v)\n", sig, *drainWait)
+		if err := s.Drain(*drainWait); err != nil {
+			fmt.Fprintln(os.Stderr, "apserve:", err)
+			os.Exit(1)
+		}
+		fmt.Println("apserve: drained cleanly")
+		close(drained)
+	}()
+	if err := s.Serve(l); err != nil {
+		fatal(err)
+	}
+	<-drained
+}
+
+func runLoadgen(url string, abbrs []string, cfg workloads.Config, streams, requests, overload, tenants int, pace time.Duration, benchOut string) {
+	bench, err := serve.RunLoadgen(context.Background(), serve.LoadgenOptions{
+		URL:           url,
+		Apps:          abbrs,
+		AppConfig:     cfg,
+		StreamsPerApp: streams,
+		Requests:      requests,
+		Overload:      overload,
+		Tenants:       tenants,
+		Pace:          pace,
+	})
+	if bench != nil {
+		fmt.Printf("loadgen: %d/%d streams verified bit-identical (%d resumes, %d retries, %d sheds)\n",
+			bench.StreamsOK, bench.Streams, bench.Resumes, bench.Retries, bench.Sheds)
+		fmt.Printf("loadgen: %d/%d matches accepted; latency p50 %.2fms p99 %.2fms mean %.2fms\n",
+			bench.MatchAccepted, bench.Requests, bench.P50Ms, bench.P99Ms, bench.MeanMs)
+		if overload > 0 {
+			fmt.Printf("loadgen: overload %d accepted, %d shed, %d failed-accepted\n",
+				bench.OverloadOK, bench.OverloadShed, bench.FailedAccepted)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if bench.FailedAccepted > 0 {
+		fatal(fmt.Errorf("loadgen: %d accepted requests failed — admission control lied", bench.FailedAccepted))
+	}
+	if benchOut != "" {
+		if err := serve.WriteBenchServe(benchOut, bench); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loadgen: wrote %s\n", benchOut)
+	}
+}
+
+func splitApps(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apserve:", err)
+	os.Exit(1)
+}

@@ -30,6 +30,9 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 )
 
 // Magic identifies a checkpoint file (8 bytes, versioned separately).
@@ -52,7 +55,15 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Store persists named checkpoints in one directory. Each name owns two
 // slots: <name>.ckpt (latest) and <name>.ckpt.prev (previous good).
+//
+// A Store is safe for concurrent use: a serving process checkpoints many
+// sessions through one shared store, so Save/Load/Remove serialize on an
+// internal mutex. Concurrent writers to *different* names never corrupt
+// each other's slots; concurrent writers to the *same* name are
+// serialized, last writer wins (the serve layer guarantees one writer per
+// session name).
 type Store struct {
+	mu  sync.Mutex
 	dir string
 	seq map[string]uint64 // next sequence number per name
 }
@@ -116,6 +127,8 @@ func decodeFile(b []byte) (version uint32, seq uint64, payload []byte, err error
 // previous latest (if any) becomes the fallback slot first, so a crash at
 // any point of the sequence leaves at least one valid checkpoint behind.
 func (s *Store) Save(name string, version uint32, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	cur := s.path(name)
 	prev := cur + ".prev"
 	tmp := cur + ".tmp"
@@ -177,6 +190,8 @@ func (s *Store) loadSlot(path string) (payload []byte, seq uint64, version uint3
 // The returned Fellback flag tells callers a corrupted latest was
 // skipped, so they can log the recovery.
 func (s *Store) Load(name string) (payload []byte, version uint32, fellback bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	cur := s.path(name)
 	if payload, _, version, err = s.loadSlot(cur); err == nil {
 		return payload, version, false, nil
@@ -191,9 +206,48 @@ func (s *Store) Load(name string) (payload []byte, version uint32, fellback bool
 	return nil, 0, false, fmt.Errorf("%w (latest: %v; fallback: %v)", ErrNoCheckpoint, firstErr, err)
 }
 
+// LoadPrevious returns the fallback (previous-good) slot of name
+// directly, bypassing the latest slot. A session consumer that fell
+// behind the latest checkpoint's delivery floor resumes one capture
+// interval further back; ErrNoCheckpoint means no fallback slot exists.
+func (s *Store) LoadPrevious(name string) (payload []byte, version uint32, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payload, _, version, err = s.loadSlot(s.path(name) + ".prev")
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, ErrNoCheckpoint
+		}
+		return nil, 0, fmt.Errorf("%w (fallback: %v)", ErrNoCheckpoint, err)
+	}
+	return payload, version, nil
+}
+
+// Names lists the checkpoint names with a latest slot in the store,
+// sorted. A restarting server enumerates it to discover which sessions
+// are resumable.
+func (s *Store) Names() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var names []string
+	for _, ent := range entries {
+		if n, ok := strings.CutSuffix(ent.Name(), ".ckpt"); ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
 // Remove deletes every slot of name (latest, fallback, temp). Completed
 // runs use it to retire per-section state while keeping the manifest.
 func (s *Store) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	cur := s.path(name)
 	var first error
 	for _, p := range []string{cur, cur + ".prev", cur + ".tmp"} {
@@ -207,6 +261,8 @@ func (s *Store) Remove(name string) error {
 // Clear removes every checkpoint file in the store's directory — the
 // fresh-start path when a run begins without -resume.
 func (s *Store) Clear() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)

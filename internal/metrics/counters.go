@@ -1,0 +1,148 @@
+// Runtime counters for the serving path.
+//
+// The evaluation metrics above are batch-computed; a long-lived server
+// needs cheap always-on counters instead: monotonically increasing,
+// safe under concurrent sessions, labeled per tenant so one noisy tenant
+// is visible next to its neighbours. The registry renders in a
+// Prometheus-compatible text form (counter lines with a single optional
+// tenant label), so the /metrics endpoint can be scraped or just curled.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative deltas are ignored: counters
+// only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Registry is a set of named counters, each optionally split by a tenant
+// label. Lookups allocate on first use and are lock-free afterwards for
+// the unlabeled fast path.
+type Registry struct {
+	mu       sync.RWMutex
+	plain    map[string]*Counter
+	labelled map[string]map[string]*Counter // name -> tenant -> counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		plain:    map[string]*Counter{},
+		labelled: map[string]map[string]*Counter{},
+	}
+}
+
+// Counter returns the unlabeled counter of the given name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.plain[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.plain[name]; c == nil {
+		c = &Counter{}
+		r.plain[name] = c
+	}
+	return c
+}
+
+// Tenant returns the counter of the given name for one tenant, creating
+// it on first use.
+func (r *Registry) Tenant(name, tenant string) *Counter {
+	r.mu.RLock()
+	c := r.labelled[name][tenant]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.labelled[name]
+	if m == nil {
+		m = map[string]*Counter{}
+		r.labelled[name] = m
+	}
+	if c = m[tenant]; c == nil {
+		c = &Counter{}
+		m[tenant] = c
+	}
+	return c
+}
+
+// Snapshot returns every counter as a flat name -> value map; labelled
+// counters render as name{tenant="t"}. The map is a copy.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.plain)+len(r.labelled))
+	for name, c := range r.plain {
+		out[name] = c.Value()
+	}
+	for name, m := range r.labelled {
+		for tenant, c := range m {
+			out[fmt.Sprintf("%s{tenant=%q}", name, tenant)] = c.Value()
+		}
+	}
+	return out
+}
+
+// Total sums a labelled counter across all tenants plus its unlabeled
+// counterpart (either may be absent).
+func (r *Registry) Total(name string) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var sum int64
+	if c := r.plain[name]; c != nil {
+		sum += c.Value()
+	}
+	for _, c := range r.labelled[name] {
+		sum += c.Value()
+	}
+	return sum
+}
+
+// WriteText renders the registry in Prometheus text exposition form,
+// sorted by metric name then tenant, so the output is diff-stable.
+func (r *Registry) WriteText(b *strings.Builder) {
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s %d\n", k, snap[k])
+	}
+}
+
+// String renders the registry (see WriteText).
+func (r *Registry) String() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}

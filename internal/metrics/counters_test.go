@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sessions").Inc()
+	r.Counter("sessions").Add(2)
+	r.Counter("sessions").Add(-5) // ignored: counters only go up
+	if got := r.Counter("sessions").Value(); got != 3 {
+		t.Fatalf("sessions = %d, want 3", got)
+	}
+	r.Tenant("shed", "a").Inc()
+	r.Tenant("shed", "b").Add(4)
+	if got := r.Total("shed"); got != 5 {
+		t.Fatalf("Total(shed) = %d, want 5", got)
+	}
+	snap := r.Snapshot()
+	if snap[`shed{tenant="a"}`] != 1 || snap[`shed{tenant="b"}`] != 4 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := string(rune('a' + w%2))
+			for i := 0; i < 1000; i++ {
+				r.Counter("reqs").Inc()
+				r.Tenant("reqs_by_tenant", tenant).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("reqs").Value(); got != 8000 {
+		t.Fatalf("reqs = %d, want 8000", got)
+	}
+	if got := r.Total("reqs_by_tenant"); got != 8000 {
+		t.Fatalf("Total(reqs_by_tenant) = %d, want 8000", got)
+	}
+}
+
+func TestCountersTextStable(t *testing.T) {
+	r := NewRegistry()
+	r.Tenant("x", "b").Inc()
+	r.Tenant("x", "a").Inc()
+	r.Counter("a_first").Inc()
+	text := r.String()
+	want := "a_first 1\nx{tenant=\"a\"} 1\nx{tenant=\"b\"} 1\n"
+	if text != want {
+		t.Fatalf("text = %q, want %q", text, want)
+	}
+	if !strings.HasSuffix(text, "\n") {
+		t.Fatal("text must end with newline")
+	}
+}

@@ -1,0 +1,100 @@
+// Admission control: the server says no early, explicitly, and with a
+// retry signal, instead of accepting work it will fail.
+//
+// Two layers:
+//
+//   - per-tenant: a token bucket (rate + burst) and a concurrency cap.
+//     Exceeding either answers 429 with Retry-After — the tenant is the
+//     noisy party and should back off.
+//   - global: a session-count cap and a memory budget over the shared
+//     images plus per-session engine estimates. Exceeding either answers
+//     503 with Retry-After — the server is the loaded party and any
+//     tenant should retry later.
+//
+// The invariant the overload test pins: shed requests are counted and
+// refused up front; admitted sessions always run to completion.
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// bucket is a token bucket refilled continuously at rate tokens/sec up to
+// burst. Callers hold the server mutex.
+type bucket struct {
+	tokens float64
+	last   time.Time
+	rate   float64
+	burst  float64
+}
+
+// take consumes one token, refilling for the time elapsed since the last
+// call. When empty it reports how long until a token is available.
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b.last.IsZero() {
+		b.tokens = b.burst
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// admission is the outcome of an admit call.
+type admission struct {
+	ok         bool
+	status     int
+	retryAfter time.Duration
+	reason     string
+	release    func()
+}
+
+// admit runs the full admission ladder for one session of the given
+// tenant costing cost dynamic bytes. On success the returned release
+// must be called exactly once when the session ends.
+func (s *Server) admit(tenantName string, cost int64) admission {
+	now := s.cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return admission{status: http.StatusServiceUnavailable, retryAfter: 2 * time.Second, reason: "draining"}
+	}
+	if s.nSess >= s.cfg.MaxSessions {
+		return admission{status: http.StatusServiceUnavailable, retryAfter: time.Second, reason: "sessions"}
+	}
+	if s.cfg.MemBudget > 0 && s.memImages+s.memUsed+cost > s.cfg.MemBudget {
+		return admission{status: http.StatusServiceUnavailable, retryAfter: time.Second, reason: "memory"}
+	}
+	t := s.tenantLocked(tenantName)
+	if t.active >= s.cfg.MaxPerTenant {
+		return admission{status: http.StatusTooManyRequests, retryAfter: time.Second, reason: "tenant_concurrency"}
+	}
+	if ok, wait := t.bucket.take(now); !ok {
+		return admission{status: http.StatusTooManyRequests, retryAfter: wait, reason: "tenant_rate"}
+	}
+	s.nSess++
+	t.active++
+	s.memUsed += cost
+	released := false
+	return admission{ok: true, release: func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if released {
+			return
+		}
+		released = true
+		s.nSess--
+		t.active--
+		s.memUsed -= cost
+		s.idle.Broadcast()
+	}}
+}

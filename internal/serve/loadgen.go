@@ -1,0 +1,578 @@
+// Load generator and resilient client for the serve benchmark. The
+// Client implements the session protocol from the consumer's side —
+// retry with backoff across sheds, suspends, kills, and restarts — and
+// RunLoadgen drives it through three phases: verified streaming (every
+// session's report stream compared against an uninterrupted local run),
+// match latency (p50/p99 over accepted requests), and overload (prove
+// the server sheds explicitly instead of failing accepted work).
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/sim"
+	"sparseap/internal/workloads"
+)
+
+// Client is a session-protocol client with retry and backoff. The zero
+// value is not usable; fill URL at least.
+type Client struct {
+	// URL returns the server base URL (a func so a chaos harness can
+	// repoint the client at a restarted server between attempts).
+	URL func() string
+	// Tenant is sent as X-Tenant.
+	Tenant string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+	// Chunk is the body write granularity (default 4096).
+	Chunk int
+	// Pace sleeps between chunk writes, stretching a stream out so a
+	// chaos test can kill the server mid-flight.
+	Pace time.Duration
+	// Backoff is the initial retry delay (default 25ms, doubling to 1s).
+	Backoff time.Duration
+	// MaxAttempts bounds connection attempts per stream (default 64).
+	MaxAttempts int
+
+	// Sheds counts attempts refused by admission control.
+	Sheds atomic.Int64
+	// Resumes counts successful reconnects that resumed mid-stream.
+	Resumes atomic.Int64
+	// Retries counts all re-connection attempts after the first.
+	Retries atomic.Int64
+	// Restarts counts 409-forced session restarts.
+	Restarts atomic.Int64
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) chunk() int {
+	if c.Chunk > 0 {
+		return c.Chunk
+	}
+	return 4096
+}
+
+// StreamResult is the outcome of one completed stream session.
+type StreamResult struct {
+	Session string
+	Reports []sim.Report
+	// EndPos and EndReports echo the server's end record.
+	EndPos, EndReports int64
+}
+
+// Stream runs input through app as one session, surviving sheds,
+// suspends, disconnects, and server restarts, and returns the exactly-
+// once report stream. A 409 from the server restarts the session from
+// scratch with local state discarded (the stream stays exactly-once from
+// the caller's view because everything is dropped together).
+func (c *Client) Stream(ctx context.Context, appName string, input []byte) (*StreamResult, error) {
+	id := newSessionID()
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	maxAttempts := c.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 64
+	}
+	var have []sim.Report
+	restart := false
+
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			c.Retries.Add(1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if backoff < time.Second {
+				backoff *= 2
+			}
+		}
+		if restart {
+			have = have[:0]
+		}
+		res, state, err := c.streamAttempt(ctx, appName, id, input, have, restart)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue // connection-level failure: retry
+		}
+		have = state
+		switch res {
+		case attemptDone:
+			return &StreamResult{Session: id, Reports: have}, nil
+		case attemptShed:
+			c.Sheds.Add(1)
+		case attemptRestart:
+			c.Restarts.Add(1)
+			restart = true
+		case attemptSuspend, attemptBroken:
+			restart = false
+		}
+	}
+	return nil, fmt.Errorf("serve: stream %s gave up after %d attempts", id, maxAttempts)
+}
+
+type attemptOutcome int
+
+const (
+	attemptDone attemptOutcome = iota
+	attemptShed
+	attemptSuspend
+	attemptBroken
+	attemptRestart
+)
+
+// streamAttempt makes one connection and runs it until end, suspend, or
+// failure, returning the updated report list.
+func (c *Client) streamAttempt(ctx context.Context, appName, id string, input []byte, have []sim.Report, restart bool) (attemptOutcome, []sim.Report, error) {
+	pr, pw := io.Pipe()
+	defer pr.Close()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.URL()+"/v1/stream?app="+appName, pr)
+	if err != nil {
+		return attemptBroken, have, err
+	}
+	if c.Tenant != "" {
+		req.Header.Set("X-Tenant", c.Tenant)
+	}
+	req.Header.Set("X-Session", id)
+	req.Header.Set("X-Have-Reports", strconv.Itoa(len(have)))
+	if restart {
+		req.Header.Set("X-Restart", "1")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		pw.CloseWithError(err)
+		return attemptBroken, have, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		pw.CloseWithError(io.ErrClosedPipe)
+		return attemptShed, have, nil
+	case http.StatusConflict:
+		pw.CloseWithError(io.ErrClosedPipe)
+		return attemptRestart, have, nil
+	default:
+		pw.CloseWithError(io.ErrClosedPipe)
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return attemptBroken, have, fmt.Errorf("serve: stream status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	resumePos, _ := strconv.ParseInt(resp.Header.Get("X-Resume-Pos"), 10, 64)
+	if resumePos < 0 || resumePos > int64(len(input)) {
+		pw.CloseWithError(io.ErrClosedPipe)
+		return attemptBroken, have, fmt.Errorf("serve: bad resume pos %d", resumePos)
+	}
+	if resumePos > 0 {
+		c.Resumes.Add(1)
+	}
+
+	// Feed the remaining input in the background while reading reports.
+	go func() {
+		chunk := c.chunk()
+		for off := int(resumePos); off < len(input); off += chunk {
+			end := off + chunk
+			if end > len(input) {
+				end = len(input)
+			}
+			if _, werr := pw.Write(input[off:end]); werr != nil {
+				return
+			}
+			if c.Pace > 0 {
+				select {
+				case <-time.After(c.Pace):
+				case <-ctx.Done():
+					pw.CloseWithError(ctx.Err())
+					return
+				}
+			}
+		}
+		pw.Close()
+	}()
+	defer pw.CloseWithError(io.ErrClosedPipe) // unblock the writer on any exit
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "r":
+			if len(fields) != 3 {
+				return attemptBroken, have, fmt.Errorf("serve: malformed report %q", sc.Text())
+			}
+			pos, _ := strconv.ParseInt(fields[1], 10, 64)
+			state, _ := strconv.ParseInt(fields[2], 10, 64)
+			have = append(have, sim.Report{Pos: pos, State: automata.StateID(state)})
+		case "suspend":
+			return attemptSuspend, have, nil
+		case "end":
+			if len(fields) == 3 {
+				n, _ := strconv.ParseInt(fields[2], 10, 64)
+				if n != int64(len(have)) {
+					return attemptBroken, have, fmt.Errorf("serve: end declares %d reports, client holds %d", n, len(have))
+				}
+			}
+			return attemptDone, have, nil
+		}
+	}
+	// Connection died mid-stream (server killed): retry and resume.
+	return attemptBroken, have, nil
+}
+
+// Match runs one /v1/match request. Shed responses return shed=true with
+// a nil result and no error.
+func (c *Client) Match(ctx context.Context, appName string, input []byte) (res *matchResponse, shed bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.URL()+"/v1/match?app="+appName, strings.NewReader(string(input)))
+	if err != nil {
+		return nil, false, err
+	}
+	if c.Tenant != "" {
+		req.Header.Set("X-Tenant", c.Tenant)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		c.Sheds.Add(1)
+		return nil, true, nil
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, false, fmt.Errorf("serve: match status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var m matchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, false, err
+	}
+	return &m, false, nil
+}
+
+// LoadgenOptions configures RunLoadgen.
+type LoadgenOptions struct {
+	// URL is the server base URL (e.g. "http://127.0.0.1:8425").
+	URL string
+	// Apps are workload abbreviations to exercise (default HM, PEN, TCP).
+	Apps []string
+	// AppConfig scales the generated workloads; must match the server's.
+	AppConfig workloads.Config
+	// StreamsPerApp is the number of verified stream sessions per app
+	// (default 2).
+	StreamsPerApp int
+	// Requests is the number of match requests in the latency phase
+	// (default 64).
+	Requests int
+	// Concurrency is the number of parallel loadgen workers (default 8).
+	Concurrency int
+	// Tenants spreads sessions across this many tenant identities
+	// (default 4).
+	Tenants int
+	// Overload, when positive, fires this many concurrent no-retry match
+	// requests to provoke explicit shedding (default 0: skip the phase).
+	Overload int
+	// Pace stretches phase-1 streams by sleeping between chunk writes,
+	// widening the window in which an external chaos harness can kill
+	// the server mid-stream (default 0: full speed).
+	Pace time.Duration
+	// Timeout bounds the whole run (default 5 minutes).
+	Timeout time.Duration
+}
+
+func (o LoadgenOptions) withDefaults() LoadgenOptions {
+	if len(o.Apps) == 0 {
+		o.Apps = []string{"HM", "PEN", "TCP"}
+	}
+	if o.StreamsPerApp <= 0 {
+		o.StreamsPerApp = 2
+	}
+	if o.Requests <= 0 {
+		o.Requests = 64
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Tenants <= 0 {
+		o.Tenants = 4
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Minute
+	}
+	return o
+}
+
+// BenchServe is the benchmark record written to BENCH_serve.json.
+type BenchServe struct {
+	Apps          []string `json:"apps"`
+	Streams       int      `json:"streams"`
+	StreamsOK     int      `json:"streamsVerified"`
+	Requests      int      `json:"matchRequests"`
+	MatchAccepted int64    `json:"matchAccepted"`
+
+	P50Ms  float64 `json:"p50Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	MeanMs float64 `json:"meanMs"`
+
+	Sheds          int64 `json:"sheds"`
+	Resumes        int64 `json:"resumes"`
+	Retries        int64 `json:"retries"`
+	OverloadShed   int64 `json:"overloadShed"`
+	OverloadOK     int64 `json:"overloadAccepted"`
+	FailedAccepted int64 `json:"failedAccepted"`
+}
+
+// RunLoadgen drives a running server through verification, latency, and
+// overload phases and returns the benchmark record. It fails hard on any
+// correctness violation: a stream whose report sequence differs from the
+// uninterrupted local run, or an accepted request that then fails.
+func RunLoadgen(ctx context.Context, o LoadgenOptions) (*BenchServe, error) {
+	o = o.withDefaults()
+	ctx, cancel := context.WithTimeout(ctx, o.Timeout)
+	defer cancel()
+
+	type appCase struct {
+		abbr     string
+		net      *automata.Network
+		input    []byte
+		expected []sim.Report
+	}
+	cases := make([]appCase, 0, len(o.Apps))
+	for _, abbr := range o.Apps {
+		app, err := workloads.Build(abbr, o.AppConfig)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: build %s: %w", abbr, err)
+		}
+		res := sim.Run(app.Net, app.Input, sim.Options{CollectReports: true})
+		cases = append(cases, appCase{abbr: abbr, net: app.Net, input: app.Input, expected: res.Reports})
+	}
+
+	bench := &BenchServe{Apps: o.Apps, Requests: o.Requests}
+	cl := &Client{URL: func() string { return o.URL }}
+
+	// Phase 1: verified streams. Every session's assembled report stream
+	// must be bit-identical to the uninterrupted local run.
+	type streamJob struct {
+		c      appCase
+		tenant string
+	}
+	var jobs []streamJob
+	for i, c := range cases {
+		for s := 0; s < o.StreamsPerApp; s++ {
+			jobs = append(jobs, streamJob{c: c, tenant: fmt.Sprintf("tenant-%d", (i*o.StreamsPerApp+s)%o.Tenants)})
+		}
+	}
+	bench.Streams = len(jobs)
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, o.Concurrency)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j streamJob) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sc := &Client{URL: cl.URL, Tenant: j.tenant, Pace: o.Pace}
+			res, err := sc.Stream(ctx, j.c.abbr, j.c.input)
+			mu.Lock()
+			defer mu.Unlock()
+			bench.Sheds += sc.Sheds.Load()
+			bench.Resumes += sc.Resumes.Load()
+			bench.Retries += sc.Retries.Load()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			if err := sameReports(res.Reports, j.c.expected); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("loadgen: %s stream diverged: %w", j.c.abbr, err)
+				}
+				return
+			}
+			bench.StreamsOK++
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return bench, firstErr
+	}
+
+	// Phase 2: match latency over accepted requests.
+	lat := make([]float64, 0, o.Requests)
+	for i := 0; i < o.Requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cases[i%len(cases)]
+			mc := &Client{URL: cl.URL, Tenant: fmt.Sprintf("tenant-%d", i%o.Tenants)}
+			input := c.input
+			if len(input) > 16384 {
+				input = input[:16384]
+			}
+			for {
+				start := time.Now()
+				_, shed, err := mc.Match(ctx, c.abbr, input)
+				elapsed := time.Since(start)
+				mu.Lock()
+				if shed {
+					bench.Sheds++
+					mu.Unlock()
+					select {
+					case <-time.After(20 * time.Millisecond):
+						continue
+					case <-ctx.Done():
+						return
+					}
+				}
+				if err != nil {
+					// Transport-level failures are transient under chaos
+					// (the server may be mid-restart): back off and retry.
+					// Anything the server said over HTTP is a real failure.
+					var ue *url.Error
+					if errors.As(err, &ue) && ctx.Err() == nil {
+						bench.Retries++
+						mu.Unlock()
+						select {
+						case <-time.After(20 * time.Millisecond):
+							continue
+						case <-ctx.Done():
+							return
+						}
+					}
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				lat = append(lat, float64(elapsed.Microseconds())/1000)
+				bench.MatchAccepted++
+				mu.Unlock()
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return bench, firstErr
+	}
+	bench.P50Ms, bench.P99Ms, bench.MeanMs = percentiles(lat)
+
+	// Phase 3: overload. Fire a burst of single-attempt paced streams (no
+	// retries — a shed is a shed). The server must refuse some explicitly,
+	// and every stream it accepts must run to a verified completion:
+	// admission control never accepts work it cannot serve. Streams, not
+	// matches, carry this phase because their sessions block on I/O
+	// between chunks, so the burst genuinely overlaps even on one CPU.
+	if o.Overload > 0 {
+		c := cases[0]
+		input := c.input
+		if len(input) > 16384 {
+			input = input[:16384]
+		}
+		truncated := sim.Run(c.net, input, sim.Options{CollectReports: true}).Reports
+		var owg sync.WaitGroup
+		for i := 0; i < o.Overload; i++ {
+			owg.Add(1)
+			go func(i int) {
+				defer owg.Done()
+				oc := &Client{URL: cl.URL, Tenant: "burst", Chunk: 1024, Pace: 500 * time.Microsecond}
+				out, reports, err := oc.streamAttempt(ctx, c.abbr, newSessionID(), input, nil, false)
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case out == attemptShed:
+					bench.OverloadShed++
+				case out == attemptDone && err == nil && sameReports(reports, truncated) == nil:
+					bench.OverloadOK++
+				default:
+					// Accepted (or mid-flight) and then failed: the exact
+					// outcome admission control exists to prevent.
+					bench.FailedAccepted++
+				}
+			}(i)
+		}
+		owg.Wait()
+	}
+	return bench, nil
+}
+
+// WriteBenchServe writes the benchmark record as indented JSON.
+func WriteBenchServe(path string, b *BenchServe) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// sameReports verifies got and want are the identical sequence.
+func sameReports(got, want []sim.Report) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d reports, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("report %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// percentiles returns p50, p99, and mean of ms samples.
+func percentiles(ms []float64) (p50, p99, mean float64) {
+	if len(ms) == 0 {
+		return 0, 0, 0
+	}
+	s := append([]float64(nil), ms...)
+	sort.Float64s(s)
+	idx := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return idx(0.50), idx(0.99), sum / float64(len(s))
+}

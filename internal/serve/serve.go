@@ -1,0 +1,379 @@
+// Package serve is the multi-tenant streaming match service: the
+// long-lived server that turns the library into a system serving many
+// concurrent input streams against many resident automata.
+//
+// Robustness is the headline, and every mechanism built in the earlier
+// layers plugs in here:
+//
+//   - compiled sim.Images are cached once per application and shared
+//     read-only across every tenant's sessions (they are immutable and
+//     pooled-engine-ready);
+//   - admission control sheds load explicitly — per-tenant token buckets
+//     and concurrency caps answer 429, global session and memory budgets
+//     answer 503, both with Retry-After — so an accepted stream never
+//     fails for lack of resources;
+//   - every session checkpoints through internal/checkpoint: a killed
+//     server restarts, the client retries with backoff, and the resumed
+//     session delivers a report stream bit-identical to an uninterrupted
+//     run with exactly-once delivery (see session.go for the windowed
+//     resume protocol);
+//   - SIGTERM drains gracefully: in-flight sessions are checkpointed and
+//     suspended, clients reconnect to the next process;
+//   - guard-tripped tenants degrade down a per-tenant ladder from SpAP
+//     execution to the baseline kernel instead of failing (internal/spap
+//     Ladder), and recover via cooldown probes;
+//   - request deadlines propagate from the X-Deadline-Ms header through
+//     context into every executor.
+//
+// The wire protocol is deliberately plain: HTTP with full-duplex bodies
+// (HTTP/2 when the caller configures TLS, HTTP/1.1 full duplex
+// otherwise), newline-framed text reports. See DESIGN.md §12.
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sparseap/internal/ap"
+	"sparseap/internal/automata"
+	"sparseap/internal/checkpoint"
+	"sparseap/internal/hotcold"
+	"sparseap/internal/metrics"
+	"sparseap/internal/sim"
+	"sparseap/internal/spap"
+)
+
+// Config tunes the server. The zero value is usable for tests; New fills
+// defaults.
+type Config struct {
+	// Store is the durable checkpoint store backing session resume; nil
+	// disables resumability (sessions still stream, but a crash loses
+	// them).
+	Store *checkpoint.Store
+	// Every is the checkpoint capture interval in input symbols
+	// (default 8192). It is also the report-delivery granularity: reports
+	// are released to the client only once the checkpoint covering them
+	// is durable, which is what makes exactly-once delivery possible
+	// across a kill.
+	Every int64
+
+	// MaxSessions caps globally concurrent sessions (streams + matches);
+	// default 256. Excess is shed with 503.
+	MaxSessions int
+	// MaxPerTenant caps concurrent sessions per tenant; default 32.
+	// Excess is shed with 429.
+	MaxPerTenant int
+	// RatePerSec is the per-tenant token-bucket refill rate in sessions
+	// per second (default 64).
+	RatePerSec float64
+	// Burst is the per-tenant token-bucket capacity (default 2×rate).
+	Burst float64
+	// MemBudget bounds resident bytes (shared images + per-session
+	// engine estimates); 0 means unlimited. Excess admissions shed 503.
+	MemBudget int64
+	// MaxMatchBytes bounds a /v1/match request body (default 8 MiB).
+	MaxMatchBytes int64
+
+	// Capacity is the AP half-core capacity used for SpAP partitions
+	// (default ap.DefaultConfig().Capacity).
+	Capacity int
+	// Guard configures the per-request adaptive guard; zero value takes
+	// spap.DefaultGuard.
+	Guard spap.Guard
+	// Ladder configures per-tenant guard escalation.
+	Ladder spap.LadderConfig
+
+	// Registry receives the serve-path counters; New creates one when
+	// nil.
+	Registry *metrics.Registry
+
+	// Now is the clock (tests inject a fake one for token buckets).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Every <= 0 {
+		c.Every = checkpoint.DefaultEvery
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.MaxPerTenant <= 0 {
+		c.MaxPerTenant = 32
+	}
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = 64
+	}
+	if c.Burst <= 0 {
+		c.Burst = 2 * c.RatePerSec
+	}
+	if c.MaxMatchBytes <= 0 {
+		c.MaxMatchBytes = 8 << 20
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = ap.DefaultConfig().Capacity
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// app is one resident application: the network, its shared compiled
+// image, and the lazily built SpAP partition.
+type app struct {
+	name        string
+	net         *automata.Network
+	img         *sim.Image
+	fingerprint string
+
+	once sync.Once
+	part *hotcold.Partition
+	perr error
+}
+
+// partition builds (once) the static hot/cold partition the SpAP match
+// path runs on.
+func (a *app) partition(capacity int) (*hotcold.Partition, error) {
+	a.once.Do(func() {
+		a.part, a.perr = hotcold.BuildWithStrategy(a.net, hotcold.StrategyStatic,
+			hotcold.StrategyInput{}, hotcold.Options{Capacity: capacity})
+	})
+	return a.part, a.perr
+}
+
+// Server is the multi-tenant streaming match service.
+type Server struct {
+	cfg   Config
+	reg   *metrics.Registry
+	apCfg ap.Config
+
+	mu        sync.Mutex
+	apps      map[string]*app
+	tenants   map[string]*tenant
+	active    map[string]*session // live stream sessions by ID
+	nSess     int                 // global concurrent sessions (streams + matches)
+	memUsed   int64               // per-session dynamic bytes admitted
+	memImages int64               // resident shared images
+	draining  bool
+
+	killCh chan struct{} // closed by Abort: simulated crash for chaos tests
+	idle   sync.Cond     // broadcast when nSess drops (Drain waits on it)
+
+	hsMu sync.Mutex
+	hs   *http.Server
+}
+
+// New builds a server with no resident applications; add them with
+// AddApp.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	apCfg := ap.DefaultConfig()
+	apCfg.Capacity = cfg.Capacity
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		apCfg:   apCfg,
+		apps:    map[string]*app{},
+		tenants: map[string]*tenant{},
+		active:  map[string]*session{},
+		killCh:  make(chan struct{}),
+	}
+	s.idle.L = &s.mu
+	return s
+}
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// AddApp makes an application resident: its execution image is compiled
+// now and shared by every session. The fingerprint identifies the exact
+// build (generator config, seed, optimization) so a resumed session can
+// refuse to splice state from a different build.
+func (s *Server) AddApp(name string, net *automata.Network, fingerprint string) error {
+	img := sim.ImageOf(net)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.apps[name]; dup {
+		return fmt.Errorf("serve: app %q already resident", name)
+	}
+	s.apps[name] = &app{name: name, net: net, img: img, fingerprint: fingerprint}
+	s.memImages += img.Footprint()
+	return nil
+}
+
+// lookupApp returns the resident application, or nil.
+func (s *Server) lookupApp(name string) *app {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.apps[name]
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/match", s.handleMatch)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/apps", s.handleApps)
+	return mux
+}
+
+// Serve accepts connections on l until the listener closes (Drain,
+// Abort, or an external Shutdown).
+func (s *Server) Serve(l net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	s.hsMu.Lock()
+	s.hs = hs
+	s.hsMu.Unlock()
+	err := hs.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe listens on addr and serves until shut down.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Drain gracefully shuts the server down: new sessions are refused with
+// 503, every in-flight stream session is checkpointed and suspended (the
+// client reconnects to the next process), and the HTTP server closes.
+// It returns once all sessions have unwound or timeout elapses.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	s.draining = true
+	for _, sess := range s.active {
+		sess.requestDrain()
+	}
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		s.idle.Broadcast()
+		s.mu.Unlock()
+	})
+	for s.nSess > 0 && time.Now().Before(deadline) {
+		s.idle.Wait()
+	}
+	stranded := s.nSess
+	s.mu.Unlock()
+	timer.Stop()
+
+	s.hsMu.Lock()
+	hs := s.hs
+	s.hsMu.Unlock()
+	if hs != nil {
+		hs.Close()
+	}
+	if stranded > 0 {
+		return fmt.Errorf("serve: drain timed out with %d sessions still live", stranded)
+	}
+	return nil
+}
+
+// Abort kills the server abruptly — the in-process stand-in for SIGKILL
+// used by the chaos harness. No session checkpoints, no drain: sessions
+// die where they stand and the store keeps only their last periodic
+// capture, exactly as a real kill would leave it.
+func (s *Server) Abort() {
+	s.mu.Lock()
+	select {
+	case <-s.killCh:
+	default:
+		close(s.killCh)
+	}
+	s.mu.Unlock()
+	s.hsMu.Lock()
+	hs := s.hs
+	s.hsMu.Unlock()
+	if hs != nil {
+		hs.Close()
+	}
+}
+
+// killed reports whether Abort has fired.
+func (s *Server) killed() bool {
+	select {
+	case <-s.killCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// handleMetrics serves the counter registry in Prometheus text form.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	s.reg.WriteText(&b)
+	fmt.Fprint(w, b.String())
+}
+
+// handleHealthz answers 200 while serving, 503 while draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleApps lists resident applications.
+func (s *Server) handleApps(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.apps))
+	for n := range s.apps {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(names)
+}
+
+// shed answers an admission rejection with an explicit retry signal and
+// counts it; reason distinguishes rate-limited tenants (429) from global
+// resource pressure (503).
+func (s *Server) shed(w http.ResponseWriter, tenant string, status int, retryAfter time.Duration, reason string) {
+	s.reg.Tenant("serve_shed", tenant).Inc()
+	s.reg.Counter("serve_shed_" + reason).Inc()
+	secs := int64(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	http.Error(w, fmt.Sprintf("shed: %s (retry after %ds)", reason, secs), status)
+}
+
+// newSessionID returns a fresh 16-hex-digit session ID.
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a time-derived ID; uniqueness is only needed
+		// within one store directory.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,519 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/checkpoint"
+	"sparseap/internal/sim"
+	"sparseap/internal/spap"
+	"sparseap/internal/symset"
+	"sparseap/internal/testleak"
+)
+
+// testNet builds a small network that reports often: an all-input start
+// chain over 'a'..'z' so reports appear throughout the stream.
+func testNet(t *testing.T) *automata.Network {
+	t.Helper()
+	nfa := automata.NewNFA()
+	prev := nfa.Add(symset.Range('a', 'z'), automata.StartAllInput, false)
+	for i := 0; i < 6; i++ {
+		s := nfa.Add(symset.Range('a', 'z'), automata.StartNone, i == 5)
+		nfa.Connect(prev, s)
+		prev = s
+	}
+	return automata.NewNetwork(nfa)
+}
+
+func testInput(n int) []byte {
+	in := make([]byte, n)
+	for i := range in {
+		in[i] = byte('a' + (i*7)%26)
+	}
+	return in
+}
+
+// harness is one live test server instance.
+type harness struct {
+	s  *Server
+	ts *httptest.Server
+}
+
+func startServer(t *testing.T, cfg Config, net *automata.Network) *harness {
+	t.Helper()
+	s := New(cfg)
+	if err := s.AddApp("test", net, "test/v1"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return &harness{s: s, ts: ts}
+}
+
+func expectedReports(net *automata.Network, input []byte) []sim.Report {
+	return sim.Run(net, input, sim.Options{CollectReports: true}).Reports
+}
+
+func TestStreamEndToEnd(t *testing.T) {
+	testleak.Check(t)
+	net := testNet(t)
+	input := testInput(32768)
+	h := startServer(t, Config{}, net)
+
+	cl := &Client{URL: func() string { return h.ts.URL }, Tenant: "t0"}
+	res, err := cl.Stream(context.Background(), "test", input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameReports(res.Reports, expectedReports(net, input)); err != nil {
+		t.Fatalf("stream diverged from uninterrupted run: %v", err)
+	}
+	snap := h.s.Registry().Snapshot()
+	if snap[`serve_sessions_started{tenant="t0"}`] != 1 {
+		t.Fatalf("sessions_started = %v", snap)
+	}
+	if snap[`serve_sessions_completed{tenant="t0"}`] != 1 {
+		t.Fatalf("sessions_completed = %v", snap)
+	}
+}
+
+// TestStreamResumeAfterAbort is the in-package kill/resume cell: the
+// server is aborted (crash semantics, no saves) mid-stream, a second
+// server over the same store directory takes over, and the client's
+// assembled report stream must be bit-identical with exactly-once
+// delivery.
+func TestStreamResumeAfterAbort(t *testing.T) {
+	testleak.Check(t)
+	net := testNet(t)
+	input := testInput(1 << 17)
+	dir := t.TempDir()
+
+	mk := func() (*harness, error) {
+		store, err := checkpoint.Open(dir)
+		if err != nil {
+			return nil, err
+		}
+		return startServer(t, Config{Store: store, Every: 1024}, net), nil
+	}
+	h1, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var url atomic.Value
+	url.Store(h1.ts.URL)
+
+	cl := &Client{
+		URL:    func() string { return url.Load().(string) },
+		Tenant: "t0",
+		Chunk:  512,
+		Pace:   200 * time.Microsecond, // stretch the stream past the kill
+	}
+
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(30 * time.Millisecond)
+		h2, err := mk()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		url.Store(h2.ts.URL) // repoint before the old server dies
+		h1.s.Abort()
+		h1.ts.CloseClientConnections()
+	}()
+
+	res, err := cl.Stream(context.Background(), "test", input)
+	<-killed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameReports(res.Reports, expectedReports(net, input)); err != nil {
+		t.Fatalf("resumed stream not bit-identical: %v", err)
+	}
+	if cl.Retries.Load() == 0 {
+		t.Fatal("kill did not force a retry — the chaos cell tested nothing")
+	}
+}
+
+// TestDrainSuspendsAndResumes drains server one mid-stream (graceful
+// SIGTERM path: checkpoint + suspend) and completes the session against
+// server two.
+func TestDrainSuspendsAndResumes(t *testing.T) {
+	testleak.Check(t)
+	net := testNet(t)
+	input := testInput(1 << 17)
+	dir := t.TempDir()
+
+	store1, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := startServer(t, Config{Store: store1, Every: 1024}, net)
+	var url atomic.Value
+	url.Store(h1.ts.URL)
+	cl := &Client{
+		URL:    func() string { return url.Load().(string) },
+		Tenant: "t0",
+		Chunk:  512,
+		Pace:   200 * time.Microsecond,
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		store2, err := checkpoint.Open(dir)
+		if err != nil {
+			drained <- err
+			return
+		}
+		h2 := startServer(t, Config{Store: store2, Every: 1024}, net)
+		url.Store(h2.ts.URL)
+		drained <- h1.s.Drain(5 * time.Second)
+	}()
+
+	res, err := cl.Stream(context.Background(), "test", input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derr := <-drained; derr != nil {
+		t.Fatalf("drain: %v", derr)
+	}
+	if err := sameReports(res.Reports, expectedReports(net, input)); err != nil {
+		t.Fatalf("post-drain stream not bit-identical: %v", err)
+	}
+	snap := h1.s.Registry().Snapshot()
+	if snap[`serve_sessions_suspended{tenant="t0"}`] == 0 && cl.Resumes.Load() == 0 {
+		t.Fatalf("drain raced past the stream: suspended=%v resumes=%d (stream too fast for the test)",
+			snap[`serve_sessions_suspended{tenant="t0"}`], cl.Resumes.Load())
+	}
+}
+
+// TestAdmissionGlobalSessionCap holds one stream open and requires the
+// next request to shed 503 with a Retry-After header.
+func TestAdmissionGlobalSessionCap(t *testing.T) {
+	testleak.Check(t)
+	net := testNet(t)
+	h := startServer(t, Config{MaxSessions: 1}, net)
+
+	// Hold a stream open: send headers plus a little data, keep the body
+	// pipe open so the session stays admitted.
+	pr, pw := io.Pipe()
+	req, _ := http.NewRequest(http.MethodPost, h.ts.URL+"/v1/stream?app=test", pr)
+	req.Header.Set("X-Tenant", "holder")
+	respCh := make(chan *http.Response, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		respCh <- resp
+	}()
+	pw.Write(testInput(64))
+	var resp *http.Response
+	select {
+	case resp = <-respCh:
+		defer resp.Body.Close()
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream request did not answer")
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("holder stream status = %d", resp.StatusCode)
+	}
+
+	// Second admission must shed with 503 + Retry-After.
+	mreq, _ := http.NewRequest(http.MethodPost, h.ts.URL+"/v1/match?app=test", strings.NewReader("abc"))
+	mreq.Header.Set("X-Tenant", "other")
+	mresp, err := http.DefaultClient.Do(mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow status = %d, want 503", mresp.StatusCode)
+	}
+	if mresp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	pw.Close()
+
+	snap := h.s.Registry().Snapshot()
+	if snap[`serve_shed{tenant="other"}`] != 1 || snap["serve_shed_sessions"] != 1 {
+		t.Fatalf("shed counters = %v", snap)
+	}
+}
+
+// TestAdmissionTenantRate exhausts one tenant's token bucket and checks
+// the refusal is 429 and scoped to that tenant.
+func TestAdmissionTenantRate(t *testing.T) {
+	testleak.Check(t)
+	net := testNet(t)
+	now := time.Unix(1000, 0)
+	h := startServer(t, Config{
+		RatePerSec: 0.001, Burst: 2,
+		Now: func() time.Time { return now }, // frozen clock: no refill
+	}, net)
+
+	match := func(tenant string) int {
+		req, _ := http.NewRequest(http.MethodPost, h.ts.URL+"/v1/match?app=test", strings.NewReader("abc"))
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if got := match("noisy"); got != http.StatusOK {
+		t.Fatalf("first request = %d", got)
+	}
+	if got := match("noisy"); got != http.StatusOK {
+		t.Fatalf("second request (burst) = %d", got)
+	}
+	if got := match("noisy"); got != http.StatusTooManyRequests {
+		t.Fatalf("third request = %d, want 429", got)
+	}
+	// A different tenant is untouched by the noisy neighbour.
+	if got := match("quiet"); got != http.StatusOK {
+		t.Fatalf("other tenant = %d, want 200", got)
+	}
+}
+
+// TestStreamDeadlineSuspends stalls a stream past its X-Deadline-Ms and
+// requires the server to checkpoint, suspend, and count the cancel.
+func TestStreamDeadlineSuspends(t *testing.T) {
+	testleak.Check(t)
+	net := testNet(t)
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := startServer(t, Config{Store: store, Every: 256}, net)
+
+	pr, pw := io.Pipe()
+	req, _ := http.NewRequest(http.MethodPost, h.ts.URL+"/v1/stream?app=test", pr)
+	req.Header.Set("X-Tenant", "t0")
+	req.Header.Set("X-Deadline-Ms", "100")
+	respCh := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			respCh <- resp
+		} else {
+			close(respCh)
+		}
+	}()
+	pw.Write(testInput(1024))
+	// ... and stall: the deadline fires while the server waits for more.
+	resp, ok := <-respCh
+	if !ok {
+		t.Fatal("request failed")
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	pw.Close()
+	if !strings.Contains(string(body), "suspend ") {
+		t.Fatalf("deadline expiry did not suspend; body:\n%s", string(body))
+	}
+	snap := h.s.Registry().Snapshot()
+	if snap[`serve_deadline_cancels{tenant="t0"}`] == 0 {
+		t.Fatalf("deadline cancel not counted: %v", snap)
+	}
+}
+
+// TestDegradationLadderRouting demotes a tenant's ladder and checks the
+// match path routes it to the baseline kernel with identical reports,
+// then promotes it back through a clean probe.
+func TestDegradationLadderRouting(t *testing.T) {
+	testleak.Check(t)
+	net := testNet(t)
+	input := testInput(8192)
+	h := startServer(t, Config{Ladder: spap.LadderConfig{TripLimit: 1, Cooldown: 1}}, net)
+
+	match := func(tenant string) *matchResponse {
+		cl := &Client{URL: func() string { return h.ts.URL }, Tenant: tenant}
+		m, shed, err := cl.Match(context.Background(), "test", input)
+		if err != nil || shed {
+			t.Fatalf("match: shed=%v err=%v", shed, err)
+		}
+		return m
+	}
+
+	if m := match("victim"); m.Mode != "guarded" {
+		t.Fatalf("healthy tenant mode = %q", m.Mode)
+	}
+	want := match("victim").NumReports
+
+	// Force a demotion as if the tenant's inputs kept tripping the guard.
+	ten := h.s.tenantOf("victim")
+	ten.ladder.ObserveGuarded(spap.ModeGuarded, true)
+	if ten.ladder.Mode() != spap.ModeBaseline {
+		t.Fatal("setup: tenant not demoted")
+	}
+
+	m := match("victim")
+	if m.Mode != "baseline" {
+		t.Fatalf("demoted tenant mode = %q, want baseline", m.Mode)
+	}
+	if m.NumReports != want {
+		t.Fatalf("baseline reports = %d, guarded = %d — degradation changed answers", m.NumReports, want)
+	}
+	snap := h.s.Registry().Snapshot()
+	if snap[`serve_degraded{tenant="victim"}`] == 0 {
+		t.Fatalf("degraded not counted: %v", snap)
+	}
+
+	// Cooldown of one request has passed; the next is the probe, and a
+	// clean probe promotes the tenant back to guarded execution.
+	m = match("victim")
+	if m.Mode != "probe" {
+		t.Fatalf("post-cooldown mode = %q, want probe", m.Mode)
+	}
+	if ten.ladder.Mode() != spap.ModeGuarded {
+		t.Fatalf("clean probe did not promote: %v", ten.ladder.Mode())
+	}
+	// An unrelated tenant was never degraded.
+	if m := match("innocent"); m.Mode != "guarded" {
+		t.Fatalf("unrelated tenant mode = %q", m.Mode)
+	}
+}
+
+// TestMetricsEndpoint checks the Prometheus text exposition.
+func TestMetricsEndpoint(t *testing.T) {
+	testleak.Check(t)
+	net := testNet(t)
+	h := startServer(t, Config{}, net)
+	cl := &Client{URL: func() string { return h.ts.URL }, Tenant: "t0"}
+	if _, err := cl.Stream(context.Background(), "test", testInput(4096)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(h.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		`serve_sessions_started{tenant="t0"} 1`,
+		`serve_sessions_completed{tenant="t0"} 1`,
+		"serve_reports_delivered",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestHealthzDrain checks /healthz flips to 503 once draining.
+func TestHealthzDrain(t *testing.T) {
+	net := testNet(t)
+	h := startServer(t, Config{}, net)
+	get := func() int {
+		resp, err := http.Get(h.ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if got := get(); got != http.StatusOK {
+		t.Fatalf("healthy healthz = %d", got)
+	}
+	if err := h.s.Drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := get(); got != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", got)
+	}
+	// New admissions shed while draining.
+	mreq, _ := http.NewRequest(http.MethodPost, h.ts.URL+"/v1/match?app=test", strings.NewReader("abc"))
+	resp, err := http.DefaultClient.Do(mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("match while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestOverloadShedsNotFails saturates a tiny server and requires every
+// request to either succeed or shed explicitly — never fail.
+func TestOverloadShedsNotFails(t *testing.T) {
+	testleak.Check(t)
+	net := testNet(t)
+	h := startServer(t, Config{MaxSessions: 2, MaxPerTenant: 1}, net)
+	input := testInput(32768)
+
+	want := expectedReports(net, input)
+	const n = 24
+	type outcome struct {
+		out attemptOutcome
+		err error
+	}
+	results := make(chan outcome, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			// Single paced stream attempt, no retry: the session blocks
+			// on I/O between chunks, so the burst overlaps even on one
+			// CPU and the concurrency caps genuinely engage.
+			cl := &Client{URL: func() string { return h.ts.URL }, Tenant: fmt.Sprintf("t%d", i%4),
+				Chunk: 1024, Pace: 500 * time.Microsecond}
+			out, reports, err := cl.streamAttempt(context.Background(), "test", newSessionID(), input, nil, false)
+			if out == attemptDone && err == nil {
+				err = sameReports(reports, want)
+			}
+			results <- outcome{out: out, err: err}
+		}(i)
+	}
+	var ok, shed int
+	for i := 0; i < n; i++ {
+		r := <-results
+		switch {
+		case r.out == attemptShed:
+			shed++
+		case r.out == attemptDone && r.err == nil:
+			ok++
+		default:
+			t.Fatalf("accepted stream failed (outcome %d): %v", r.out, r.err)
+		}
+	}
+	if shed == 0 {
+		t.Fatalf("overload produced no sheds (ok=%d)", ok)
+	}
+	if ok == 0 {
+		t.Fatal("overload accepted nothing")
+	}
+}
+
+// TestSessionIDValidation rejects store-hostile session IDs.
+func TestSessionIDValidation(t *testing.T) {
+	net := testNet(t)
+	h := startServer(t, Config{}, net)
+	req, _ := http.NewRequest(http.MethodPost, h.ts.URL+"/v1/stream?app=test", strings.NewReader("abc"))
+	req.Header.Set("X-Session", "../../etc/passwd")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("hostile session ID status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,474 @@
+// Streaming sessions: checkpoint-backed, exactly-once, bit-identical
+// across server kills.
+//
+// # Wire protocol
+//
+// A session is a POST /v1/stream?app=NAME with a streamed request body
+// (the input symbols) and a streamed response of newline-framed records:
+//
+//	r <pos> <state>    one match report
+//	suspend <pos>      server is draining; reconnect and resume
+//	end <pos> <n>      stream complete after pos symbols, n reports total
+//
+// Request headers: X-Tenant, X-Session (resume an existing session),
+// X-Have-Reports (how many reports the client retains), X-Restart
+// (discard server-side state), X-Deadline-Ms. Response headers:
+// X-Session (assigned ID), X-Resume-Pos (input offset to send from).
+//
+// # Exactly-once delivery
+//
+// Reports are released to the client only after the checkpoint covering
+// them is durable: the session buffers a window of reports between
+// captures, saves {snapshot, window} atomically, then flushes the window.
+// The client therefore never holds a report the store cannot account for.
+// On reconnect the client states how many reports it has (N). The latest
+// slot stores a snapshot at position P with cursor C and the window of
+// reports generated since the previous capture (delivery floor F = C -
+// len(window)):
+//
+//   - N ≥ F: replay window[N-F:], restore the snapshot, continue at P —
+//     the client receives each report exactly once;
+//   - N < F: the client missed a whole flush (killed mid-write); fall
+//     back to the previous-good slot, one capture interval further back,
+//     and apply the same rule;
+//   - otherwise the client and store have diverged (or the client asked
+//     to restart): the session restarts from symbol 0 and the client
+//     discards everything — still exactly-once in the final stream.
+//
+// Because the engine is deterministic and a snapshot at P contains
+// exactly the history of positions < P, the concatenated stream the
+// client assembles is bit-identical to an uninterrupted run.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/checkpoint"
+	"sparseap/internal/sim"
+)
+
+// sessionStateVersion versions the session checkpoint record.
+const sessionStateVersion = 1
+
+// sessionOverheadBytes is the fixed per-session memory charge on top of
+// the engine estimate (buffers, bookkeeping, HTTP plumbing).
+const sessionOverheadBytes = 64 << 10
+
+// readChunk is the body read granularity (capped at the distance to the
+// next checkpoint boundary so captures land exactly on schedule).
+const readChunk = 32 << 10
+
+// session is one live stream session.
+type session struct {
+	id     string
+	tenant string
+	app    *app
+	st     *sim.Streamer
+
+	window []sim.Report // reports not yet released to the client
+	floor  int64        // reports already released (delivery floor)
+
+	snap *sim.Snapshot  // reused capture buffer
+	enc  checkpoint.Enc // reused encode buffer
+
+	drainCh chan struct{}
+}
+
+// requestDrain asks the session to checkpoint, suspend, and unwind.
+// Idempotent; called with s.mu held.
+func (sess *session) requestDrain() {
+	select {
+	case <-sess.drainCh:
+	default:
+		close(sess.drainCh)
+	}
+}
+
+func (sess *session) draining() bool {
+	select {
+	case <-sess.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// slotName is the checkpoint-store name of a session.
+func slotName(id string) string { return "sess-" + id }
+
+// validSessionID accepts store-safe IDs (they become file names).
+func validSessionID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// encodeSessionState renders the durable record: identity (so a resumed
+// request cannot splice a different tenant/app/build), the engine
+// snapshot, and the undelivered report window.
+func encodeSessionState(e *checkpoint.Enc, sess *session, snap *sim.Snapshot) {
+	e.Reset()
+	e.String(sess.tenant)
+	e.String(sess.app.name)
+	e.String(sess.app.fingerprint)
+	snap.Encode(e)
+	e.U64(uint64(len(sess.window)))
+	for _, r := range sess.window {
+		e.I64(r.Pos)
+		e.I32(int32(r.State))
+	}
+}
+
+// sessionState is a decoded session checkpoint.
+type sessionState struct {
+	tenant, appName, fingerprint string
+	snap                         *sim.Snapshot
+	window                       []sim.Report
+}
+
+// floorOf returns the delivery floor of the record: reports released to
+// the client before this capture's window.
+func (st *sessionState) floorOf() int64 { return st.snap.NumReports - int64(len(st.window)) }
+
+func decodeSessionState(payload []byte) (*sessionState, error) {
+	d := checkpoint.NewDec(payload)
+	st := &sessionState{
+		tenant:      d.String(),
+		appName:     d.String(),
+		fingerprint: d.String(),
+		snap:        &sim.Snapshot{},
+	}
+	if err := st.snap.Decode(d); err != nil {
+		return nil, err
+	}
+	n := d.Len(12)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		pos := d.I64()
+		state := automata.StateID(d.I32())
+		st.window = append(st.window, sim.Report{Pos: pos, State: state})
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// registerSession claims the session ID; a second live request on the
+// same ID is refused (one writer per slot).
+func (s *Server) registerSession(id string, sess *session) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, busy := s.active[id]; busy {
+		return false
+	}
+	s.active[id] = sess
+	if s.draining {
+		// A drain racing the registration still reaches this session.
+		sess.requestDrain()
+	}
+	return true
+}
+
+func (s *Server) unregisterSession(id string) {
+	s.mu.Lock()
+	delete(s.active, id)
+	s.mu.Unlock()
+}
+
+// resumeDecision is what the windowed-resume rule picked.
+type resumeDecision struct {
+	state  *sessionState // nil: start fresh from symbol 0
+	replay []sim.Report  // window suffix the client is missing
+}
+
+// planResume applies the exactly-once resume rule for a client holding
+// have reports. A nil decision with ok=false means the store and client
+// diverged irrecoverably (client restarts from scratch).
+func (s *Server) planResume(id string, a *app, tenant string, have int64) (dec resumeDecision, ok bool, err error) {
+	payload, version, _, lerr := s.cfg.Store.Load(slotName(id))
+	if errors.Is(lerr, checkpoint.ErrNoCheckpoint) {
+		return resumeDecision{}, true, nil // nothing stored: fresh session
+	}
+	if lerr != nil {
+		return resumeDecision{}, false, lerr
+	}
+	if version != sessionStateVersion {
+		return resumeDecision{}, false, nil
+	}
+	try := func(payload []byte) (resumeDecision, bool) {
+		st, derr := decodeSessionState(payload)
+		if derr != nil {
+			return resumeDecision{}, false
+		}
+		if st.appName != a.name || st.fingerprint != a.fingerprint || st.tenant != tenant {
+			return resumeDecision{}, false
+		}
+		floor := st.floorOf()
+		if have < floor || have > st.snap.NumReports {
+			return resumeDecision{}, false
+		}
+		return resumeDecision{state: st, replay: st.window[have-floor:]}, true
+	}
+	if dec, ok := try(payload); ok {
+		return dec, true, nil
+	}
+	// The client fell behind the latest capture's delivery floor (a kill
+	// mid-flush): one capture interval further back is the previous-good
+	// slot.
+	if prev, pver, perr := s.cfg.Store.LoadPrevious(slotName(id)); perr == nil && pver == sessionStateVersion {
+		if dec, ok := try(prev); ok {
+			return dec, true, nil
+		}
+	}
+	return resumeDecision{}, false, nil
+}
+
+// handleStream runs one streaming session end to end.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	// One connection per stream attempt. Without this, an early refusal
+	// (shed, 404, 409) deadlocks a pipe-bodied client: net/http drains
+	// the unread request body before flushing the response to keep the
+	// connection reusable, while the client cannot start its body writer
+	// until it sees the response. Connection: close skips the drain.
+	w.Header().Set("Connection", "close")
+	tenant := tenantName(r.Header)
+	a := s.lookupApp(r.URL.Query().Get("app"))
+	if a == nil {
+		http.Error(w, "unknown app", http.StatusNotFound)
+		return
+	}
+	adm := s.admit(tenant, a.img.EngineFootprint()+sessionOverheadBytes)
+	if !adm.ok {
+		s.shed(w, tenant, adm.status, adm.retryAfter, adm.reason)
+		return
+	}
+	defer adm.release()
+
+	id := r.Header.Get("X-Session")
+	if id == "" {
+		id = newSessionID()
+	} else if !validSessionID(id) {
+		http.Error(w, "invalid session id", http.StatusBadRequest)
+		return
+	}
+	sess := &session{
+		id:      id,
+		tenant:  tenant,
+		app:     a,
+		drainCh: make(chan struct{}),
+		snap:    &sim.Snapshot{},
+	}
+	if !s.registerSession(id, sess) {
+		http.Error(w, "session busy", http.StatusConflict)
+		return
+	}
+	defer s.unregisterSession(id)
+
+	// Deadline propagation: the header deadline joins the request
+	// context (which already cancels on client disconnect) and reaches
+	// the engine through the Streamer's context poll.
+	ctx := r.Context()
+	rc := http.NewResponseController(w)
+	if ms, _ := strconv.ParseInt(r.Header.Get("X-Deadline-Ms"), 10, 64); ms > 0 {
+		var cancel context.CancelFunc
+		d := time.Duration(ms) * time.Millisecond
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+		rc.SetReadDeadline(time.Now().Add(d)) // body reads obey it too
+	}
+
+	have, _ := strconv.ParseInt(r.Header.Get("X-Have-Reports"), 10, 64)
+	restart := r.Header.Get("X-Restart") == "1"
+	resumable := s.cfg.Store != nil
+
+	var dec resumeDecision
+	if resumable && !restart {
+		var err error
+		var ok bool
+		dec, ok, err = s.planResume(id, a, tenant, have)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if !ok {
+			// Divergence: tell the client to restart from scratch.
+			http.Error(w, "session state diverged; restart", http.StatusConflict)
+			return
+		}
+	}
+	if resumable && restart {
+		s.cfg.Store.Remove(slotName(id))
+	}
+
+	sess.st = sim.NewStreamerOpts(a.net, sim.StreamerOptions{Context: ctx})
+	sess.st.OnReport = func(pos int64, state automata.StateID) {
+		sess.window = append(sess.window, sim.Report{Pos: pos, State: state})
+	}
+	resumePos := int64(0)
+	if dec.state != nil {
+		if err := sess.st.Restore(dec.state.snap); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		resumePos = dec.state.snap.Pos
+		sess.floor = dec.state.snap.NumReports
+		s.reg.Tenant("serve_sessions_resumed", tenant).Inc()
+	} else {
+		s.reg.Tenant("serve_sessions_started", tenant).Inc()
+	}
+
+	w.Header().Set("X-Session", id)
+	w.Header().Set("X-Resume-Pos", strconv.FormatInt(resumePos, 10))
+	w.WriteHeader(http.StatusOK)
+	rc.EnableFullDuplex() // HTTP/1.1: interleave body reads with writes
+	// Replay the window suffix the client is missing, then go live.
+	for _, rep := range dec.replay {
+		fmt.Fprintf(w, "r %d %d\n", rep.Pos, rep.State)
+	}
+	s.reg.Counter("serve_reports_delivered").Add(int64(len(dec.replay)))
+	rc.Flush()
+
+	s.streamLoop(ctx, w, rc, r.Body, sess, resumable)
+}
+
+// saveFlush makes the current window durable, then releases it to the
+// client — the ordering exactly-once delivery rests on.
+func (s *Server) saveFlush(w http.ResponseWriter, rc *http.ResponseController, sess *session, resumable bool) error {
+	if resumable {
+		sess.st.Snapshot(sess.snap)
+		encodeSessionState(&sess.enc, sess, sess.snap)
+		if err := s.cfg.Store.Save(slotName(sess.id), sessionStateVersion, sess.enc.Bytes()); err != nil {
+			return err
+		}
+		s.reg.Counter("serve_checkpoint_saves").Inc()
+	}
+	for _, rep := range sess.window {
+		if _, err := fmt.Fprintf(w, "r %d %d\n", rep.Pos, rep.State); err != nil {
+			// The client is gone; the reports stay durable in the slot
+			// and the reconnect replays them.
+			sess.releaseWindow()
+			return err
+		}
+	}
+	sess.releaseWindow()
+	return rc.Flush()
+}
+
+func (sess *session) releaseWindow() {
+	sess.floor += int64(len(sess.window))
+	sess.window = sess.window[:0]
+}
+
+// streamLoop feeds the request body through the matcher, checkpointing
+// and releasing reports at every capture boundary.
+func (s *Server) streamLoop(ctx context.Context, w http.ResponseWriter, rc *http.ResponseController, body io.Reader, sess *session, resumable bool) {
+	every := s.cfg.Every
+	buf := make([]byte, readChunk)
+	pos := sess.st.Pos()
+
+	suspend := func(reason string) {
+		// Server-side stop (drain or deadline): make the state durable,
+		// release what is covered, and tell the client to come back.
+		if err := s.saveFlush(w, rc, sess, resumable); err != nil {
+			return
+		}
+		fmt.Fprintf(w, "suspend %d\n", sess.st.Pos())
+		rc.Flush()
+		s.reg.Tenant("serve_sessions_suspended", sess.tenant).Inc()
+		if reason == "deadline" {
+			s.reg.Tenant("serve_deadline_cancels", sess.tenant).Inc()
+		}
+	}
+
+	for {
+		if s.killed() {
+			return // crash semantics: no save, the last capture stands
+		}
+		if sess.draining() {
+			suspend("drain")
+			return
+		}
+		limit := (pos/every+1)*every - pos
+		if limit > int64(len(buf)) {
+			limit = int64(len(buf))
+		}
+		n, rerr := body.Read(buf[:limit])
+		if n > 0 {
+			wn, werr := sess.st.Write(buf[:n])
+			pos += int64(wn)
+			if werr != nil {
+				// Deadline or cancellation surfaced mid-write.
+				if s.killed() {
+					return
+				}
+				suspend("deadline")
+				return
+			}
+			if resumable && pos%every == 0 {
+				if err := s.saveFlush(w, rc, sess, resumable); err != nil {
+					return
+				}
+			} else if !resumable {
+				// No durability barrier without a store: deliver at once.
+				if err := s.saveFlush(w, rc, sess, false); err != nil {
+					return
+				}
+			}
+		}
+		switch {
+		case rerr == nil:
+			continue
+		case errors.Is(rerr, io.EOF):
+			// Clean end of input: flush the tail, mark the stream done,
+			// and retire the session's slots.
+			if err := s.saveFlush(w, rc, sess, resumable); err != nil {
+				return
+			}
+			nrep := sess.st.NumReports()
+			s.reg.Counter("serve_reports_delivered").Add(nrep)
+			fmt.Fprintf(w, "end %d %d\n", sess.st.Pos(), nrep)
+			rc.Flush()
+			if resumable {
+				s.cfg.Store.Remove(slotName(sess.id))
+			}
+			s.reg.Tenant("serve_sessions_completed", sess.tenant).Inc()
+			return
+		default:
+			// Body read failed: client disconnect, deadline, or kill.
+			if s.killed() {
+				return
+			}
+			if ctx.Err() != nil {
+				suspend("deadline")
+				return
+			}
+			// Disconnect: capture so the reconnect resumes here instead
+			// of one interval back. The write side is likely dead; the
+			// durable slot is what matters.
+			if resumable {
+				sess.st.Snapshot(sess.snap)
+				encodeSessionState(&sess.enc, sess, sess.snap)
+				if s.cfg.Store.Save(slotName(sess.id), sessionStateVersion, sess.enc.Bytes()) == nil {
+					s.reg.Counter("serve_checkpoint_saves").Inc()
+				}
+			}
+			s.reg.Tenant("serve_sessions_suspended", sess.tenant).Inc()
+			return
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package serve
+
+import "sparseap/internal/spap"
+
+// tenant is the server-resident state of one tenant: its token bucket,
+// live-session count, and position on the guard-escalation ladder. One
+// tenant's storm or quota exhaustion never touches a neighbour's state —
+// isolation is per-struct, not per-lock-ordering.
+type tenant struct {
+	name   string
+	bucket bucket
+	active int
+	ladder *spap.Ladder
+}
+
+// tenantLocked returns (creating on first sight) the tenant record.
+// Caller holds s.mu.
+func (s *Server) tenantLocked(name string) *tenant {
+	t := s.tenants[name]
+	if t == nil {
+		t = &tenant{
+			name:   name,
+			bucket: bucket{rate: s.cfg.RatePerSec, burst: s.cfg.Burst},
+			ladder: spap.NewLadder(s.cfg.Ladder),
+		}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// tenantOf returns the tenant record, taking the lock.
+func (s *Server) tenantOf(name string) *tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenantLocked(name)
+}
+
+// tenantName extracts the tenant identity from a request header,
+// defaulting to "anon".
+func tenantName(h interface{ Get(string) string }) string {
+	if t := h.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "anon"
+}

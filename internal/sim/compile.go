@@ -201,6 +201,35 @@ func Compile(net *automata.Network) *Image {
 	return img
 }
 
+// Footprint estimates the resident bytes of the compiled image: the CSR
+// successor arrays, the state-major match words, the 256 transposed
+// symbol bitmaps, and the flag words. A serving process admits sessions
+// against a memory budget, and the images — shared across every tenant
+// streaming the same application — are the dominant resident term.
+func (img *Image) Footprint() int64 {
+	b := int64(len(img.succOff))*4 + int64(len(img.succ))*4
+	b += int64(len(img.match)) * 8
+	b += 256 * int64(img.words) * 8 // symMask
+	if img.hasAllInput {
+		b += 256 * int64(img.words) * 8 // startMask (aliases one row otherwise)
+	} else {
+		b += int64(img.words) * 8
+	}
+	b += 2 * int64(img.words) * 8 // report + allInput
+	for _, l := range img.startAct {
+		b += int64(len(l)) * 4
+	}
+	return b
+}
+
+// EngineFootprint estimates the per-engine dynamic bytes: two frontier
+// bitmaps plus, in the worst case, two full sparse frontier lists. The
+// admission controller charges this per live session on top of the
+// shared image.
+func (img *Image) EngineFootprint() int64 {
+	return 2*int64(img.words)*8 + 2*int64(img.n)*4
+}
+
 // ImageOf returns net's cached execution image, compiling and caching it
 // on first use. Safe for concurrent callers: a rare duplicate compile is
 // benign (both images are equivalent and read-only; last store wins).

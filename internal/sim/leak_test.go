@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+	"sparseap/internal/testleak"
+)
+
+// leakNet builds a small acyclic network shaped like the workload NFAs:
+// an all-input start fanning into a chain, so every input symbol keeps
+// the frontier non-empty and parallel chunks have real work.
+func leakNet(t *testing.T) *automata.Network {
+	t.Helper()
+	nfa := automata.NewNFA()
+	prev := nfa.Add(symset.Range('a', 'z'), automata.StartAllInput, false)
+	for i := 0; i < 12; i++ {
+		s := nfa.Add(symset.Range('a', 'z'), automata.StartNone, i == 11)
+		nfa.Connect(prev, s)
+		prev = s
+	}
+	return automata.NewNetwork(nfa)
+}
+
+func leakInput(n int) []byte {
+	in := make([]byte, n)
+	for i := range in {
+		in[i] = byte('a' + i%26)
+	}
+	return in
+}
+
+// TestParallelRunContextCancelNoLeak cancels a chunked parallel run
+// mid-flight — the tenant-disconnect shape — and requires every worker
+// goroutine to unwind: a disconnect must never strand workers.
+func TestParallelRunContextCancelNoLeak(t *testing.T) {
+	testleak.Check(t)
+	net := leakNet(t)
+	input := leakInput(1 << 16)
+	for trial := 0; trial < 4; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // cancelled before (or during) the workers' first poll
+		if _, err := ParallelRunContext(ctx, net, input, ParallelOptions{Workers: 8}); err == nil {
+			t.Fatal("expected cancellation error")
+		}
+	}
+}
+
+// TestParallelRunContextMidRunCancelNoLeak cancels from a concurrent
+// goroutine while workers are streaming, covering the partially-complete
+// path (some chunks done, some mid-warm-up).
+func TestParallelRunContextMidRunCancelNoLeak(t *testing.T) {
+	testleak.Check(t)
+	net := leakNet(t)
+	input := leakInput(1 << 18)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = ParallelRunContext(ctx, net, input, ParallelOptions{Workers: 8})
+	}()
+	cancel()
+	<-done
+}
+
+// TestStreamerCancelNoLeak drives a Streamer under an already-expired
+// context: Write must return promptly with the context error, consuming
+// no further symbols and leaving nothing running.
+func TestStreamerCancelNoLeak(t *testing.T) {
+	testleak.Check(t)
+	net := leakNet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	st := NewStreamerOpts(net, StreamerOptions{Context: ctx})
+	if _, err := st.Write(leakInput(8192)); err != nil {
+		t.Fatalf("healthy write: %v", err)
+	}
+	cancel()
+	n, err := st.Write(leakInput(1 << 16))
+	if err == nil {
+		t.Fatal("expected context error after cancel")
+	}
+	if n == 1<<16 {
+		t.Fatal("cancelled write consumed the whole buffer")
+	}
+	// Rebinding to a live context resumes the stream where it stopped.
+	st.SetContext(context.Background())
+	if _, err := st.Write(leakInput(4096)); err != nil {
+		t.Fatalf("write after SetContext: %v", err)
+	}
+}

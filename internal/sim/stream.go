@@ -104,6 +104,12 @@ func (st *Streamer) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+// SetContext replaces the cancellation context polled by Write. A serving
+// session outlives any single request: each reconnect restores the
+// matcher and rebinds it to the new request's deadline with SetContext
+// before feeding more input. A nil ctx disables cancellation polling.
+func (st *Streamer) SetContext(ctx context.Context) { st.ctx = ctx }
+
 // TakeReports returns the buffered reports and resets the buffer, freeing
 // its capacity for further matches.
 func (st *Streamer) TakeReports() []Report {

@@ -1,0 +1,164 @@
+// Per-tenant guard escalation: a degradation ladder over whole requests.
+//
+// RunGuarded's watchdog degrades a single execution; a server sees the
+// next request from the same tenant minutes later and would pay the
+// aborted-attempt cost again. The Ladder remembers: a tenant whose
+// guarded runs keep tripping is routed straight to the baseline kernel
+// (skipping the doomed BaseAP attempt entirely), and after a cooldown a
+// single probe request is allowed back through the guarded path — if the
+// workload has calmed down the tenant is promoted again, otherwise the
+// cooldown restarts. Degradation is per tenant, so one storm-prone
+// tenant never changes a neighbour's execution mode.
+package spap
+
+import "sync"
+
+// Mode is a tenant's current execution route.
+type Mode int
+
+const (
+	// ModeGuarded routes requests through RunGuarded (SpAP with the
+	// adaptive guard) — the healthy default.
+	ModeGuarded Mode = iota
+	// ModeBaseline routes requests directly to the baseline kernel; the
+	// tenant tripped the guard too often and SpAP attempts are wasted
+	// cycles until the cooldown expires.
+	ModeBaseline
+	// ModeProbe is one guarded request allowed after the cooldown to
+	// test whether the tenant's workload has calmed down.
+	ModeProbe
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeGuarded:
+		return "guarded"
+	case ModeBaseline:
+		return "baseline"
+	case ModeProbe:
+		return "probe"
+	}
+	return "unknown"
+}
+
+// LadderConfig tunes the escalation thresholds. The zero value takes the
+// defaults.
+type LadderConfig struct {
+	// TripLimit is how many consecutive tripped requests demote a tenant
+	// to ModeBaseline (default 2).
+	TripLimit int
+	// Cooldown is how many baseline-routed requests pass before a probe
+	// is allowed (default 8).
+	Cooldown int
+}
+
+func (c LadderConfig) withDefaults() LadderConfig {
+	if c.TripLimit <= 0 {
+		c.TripLimit = 2
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 8
+	}
+	return c
+}
+
+// Ladder tracks one tenant's position on the degradation ladder. Safe for
+// concurrent use (a tenant may issue parallel requests).
+type Ladder struct {
+	mu   sync.Mutex
+	cfg  LadderConfig
+	mode Mode
+
+	consecTrips int // consecutive guarded requests that tripped
+	sinceDemote int // baseline requests served since the demotion
+	probing     bool
+
+	trips     int64 // lifetime trip count
+	demotions int64 // lifetime demotions to baseline
+}
+
+// NewLadder returns a healthy ladder with the given thresholds.
+func NewLadder(cfg LadderConfig) *Ladder {
+	return &Ladder{cfg: cfg.withDefaults()}
+}
+
+// Next returns the mode the tenant's next request should execute under,
+// consuming the probe slot when one is due: exactly one in-flight request
+// gets ModeProbe, concurrent ones stay on baseline until its outcome is
+// observed.
+func (l *Ladder) Next() Mode {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.mode == ModeGuarded {
+		return ModeGuarded
+	}
+	if l.probing {
+		return ModeBaseline // a probe is already in flight
+	}
+	if l.sinceDemote >= l.cfg.Cooldown {
+		l.probing = true
+		return ModeProbe
+	}
+	l.sinceDemote++
+	return ModeBaseline
+}
+
+// ObserveGuarded records the outcome of a request that ran under
+// ModeGuarded or ModeProbe: tripped is whether the guard watchdog fired
+// (any trip, widened retry, or baseline fallback). It moves the tenant
+// down the ladder on repeated trips and back up on a clean probe.
+func (l *Ladder) ObserveGuarded(mode Mode, tripped bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if mode == ModeProbe {
+		l.probing = false
+		if tripped {
+			l.trips++
+			l.sinceDemote = 0 // restart the cooldown
+			return
+		}
+		// Clean probe: promote back to the guarded path.
+		l.mode = ModeGuarded
+		l.consecTrips = 0
+		return
+	}
+	if !tripped {
+		l.consecTrips = 0
+		return
+	}
+	l.trips++
+	l.consecTrips++
+	if l.consecTrips >= l.cfg.TripLimit && l.mode == ModeGuarded {
+		l.mode = ModeBaseline
+		l.demotions++
+		l.sinceDemote = 0
+		l.probing = false
+	}
+}
+
+// Tripped reports whether a guarded result counts as a trip for the
+// ladder: any watchdog abort, widened retry, per-batch fallback, or full
+// baseline fallback means the SpAP path wasted work on this request.
+func Tripped(res *Result) bool {
+	if res == nil || res.Guard == nil {
+		return false
+	}
+	g := res.Guard
+	return g.Trips > 0 || g.Widened || g.FallbackBaseline || g.BatchFallbacks > 0
+}
+
+// Mode returns the tenant's resting mode (ModeGuarded or ModeBaseline)
+// without consuming a probe slot.
+func (l *Ladder) Mode() Mode {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mode
+}
+
+// Stats returns lifetime trip and demotion counts.
+func (l *Ladder) Stats() (trips, demotions int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.trips, l.demotions
+}

@@ -1,0 +1,107 @@
+package spap
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLadderDemotesAfterConsecutiveTrips(t *testing.T) {
+	l := NewLadder(LadderConfig{TripLimit: 2, Cooldown: 3})
+	if m := l.Next(); m != ModeGuarded {
+		t.Fatalf("fresh ladder mode = %v", m)
+	}
+	l.ObserveGuarded(ModeGuarded, true)
+	if m := l.Next(); m != ModeGuarded {
+		t.Fatalf("after one trip mode = %v (limit is 2)", m)
+	}
+	l.ObserveGuarded(ModeGuarded, true)
+	if m := l.Mode(); m != ModeBaseline {
+		t.Fatalf("after second trip mode = %v, want baseline", m)
+	}
+	if _, demotions := l.Stats(); demotions != 1 {
+		t.Fatalf("demotions = %d, want 1", demotions)
+	}
+}
+
+func TestLadderTripStreakResetByCleanRun(t *testing.T) {
+	l := NewLadder(LadderConfig{TripLimit: 2, Cooldown: 3})
+	l.ObserveGuarded(ModeGuarded, true)
+	l.ObserveGuarded(ModeGuarded, false) // clean run breaks the streak
+	l.ObserveGuarded(ModeGuarded, true)
+	if m := l.Mode(); m != ModeGuarded {
+		t.Fatalf("non-consecutive trips demoted the tenant: %v", m)
+	}
+}
+
+func TestLadderCooldownProbeAndPromotion(t *testing.T) {
+	l := NewLadder(LadderConfig{TripLimit: 1, Cooldown: 2})
+	l.ObserveGuarded(ModeGuarded, true) // demote immediately
+	if m := l.Next(); m != ModeBaseline {
+		t.Fatalf("first post-demotion request = %v", m)
+	}
+	if m := l.Next(); m != ModeBaseline {
+		t.Fatalf("second post-demotion request = %v", m)
+	}
+	m := l.Next()
+	if m != ModeProbe {
+		t.Fatalf("after cooldown = %v, want probe", m)
+	}
+	// While the probe is in flight, others stay on baseline.
+	if m2 := l.Next(); m2 != ModeBaseline {
+		t.Fatalf("concurrent with probe = %v, want baseline", m2)
+	}
+	// Failed probe restarts the cooldown.
+	l.ObserveGuarded(ModeProbe, true)
+	if m2 := l.Next(); m2 != ModeBaseline {
+		t.Fatalf("after failed probe = %v, want baseline", m2)
+	}
+	// Run the cooldown again; this time the probe is clean.
+	l.Next()
+	m = l.Next()
+	if m != ModeProbe {
+		t.Fatalf("second cooldown = %v, want probe", m)
+	}
+	l.ObserveGuarded(ModeProbe, false)
+	if got := l.Mode(); got != ModeGuarded {
+		t.Fatalf("after clean probe = %v, want guarded", got)
+	}
+}
+
+func TestLadderConcurrent(t *testing.T) {
+	l := NewLadder(LadderConfig{TripLimit: 2, Cooldown: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m := l.Next()
+				l.ObserveGuarded(m, i%3 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	// No invariant beyond "didn't race and lands in a real mode".
+	if m := l.Mode(); m != ModeGuarded && m != ModeBaseline {
+		t.Fatalf("mode = %v", m)
+	}
+}
+
+func TestTrippedClassification(t *testing.T) {
+	if Tripped(nil) || Tripped(&Result{}) {
+		t.Fatal("nil/guardless results must not count as trips")
+	}
+	if Tripped(&Result{Guard: &GuardStats{}}) {
+		t.Fatal("clean guard stats must not count as a trip")
+	}
+	for _, g := range []*GuardStats{
+		{Trips: 1},
+		{Widened: true},
+		{FallbackBaseline: true},
+		{BatchFallbacks: 2},
+	} {
+		if !Tripped(&Result{Guard: g}) {
+			t.Fatalf("guard stats %+v must count as a trip", g)
+		}
+	}
+}

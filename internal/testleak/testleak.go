@@ -1,0 +1,53 @@
+// Package testleak verifies that a test leaves no goroutines behind — the
+// guarantee a multi-tenant server needs from every execution path it
+// wraps: a tenant disconnecting mid-stream must never strand a worker.
+//
+// The check snapshots the goroutine count up front and, at test cleanup,
+// polls until the count returns to the baseline (goroutines already
+// scheduled to exit need a few scheduler passes to unwind) before failing
+// with a full goroutine dump. Runtime-internal helper goroutines that the
+// Go runtime starts lazily (GC workers, timer scavenger) are tolerated by
+// comparing against the maximum of the start count and the count after a
+// forced GC.
+package testleak
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// grace is how long Check waits for stragglers to unwind before declaring
+// a leak.
+const grace = 2 * time.Second
+
+// Check installs a cleanup that fails t if the goroutine count has not
+// returned to its baseline by the end of the test. Call it first thing.
+func Check(t *testing.T) {
+	t.Helper()
+	runtime.GC() // settle lazily-started runtime goroutines into the baseline
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(grace)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		// Trim the dump to keep failures readable.
+		if i := bytes.LastIndexByte(buf[:min(len(buf), 16<<10)], '\n'); i > 0 {
+			buf = buf[:i]
+		}
+		t.Errorf("goroutine leak: %d goroutines at cleanup, baseline %d\n%s", n, base, buf)
+	})
+}

@@ -8,7 +8,8 @@
 # build, full test suite, race-detector pass over the whole module, a fuzz
 # smoke pass over the parser/compiler/rewriter fuzz targets, the
 # fault-injection smoke sweep, a chaos-soak smoke cell (kill/resume with
-# stream comparison), throughput and prediction smoke cells of apbench,
+# stream comparison), a serve-soak smoke cell (real SIGKILL of a live
+# apserve with resumed streams), throughput and prediction smoke cells of apbench,
 # the apopt certificate-checked rewrite of the suite, and the aplint sweep
 # of the generated workload suite.
 set -euo pipefail
@@ -55,7 +56,10 @@ go test ./...
 
 if [[ $short -eq 0 ]]; then
     echo "== go test -race (whole module) =="
-    go test -race ./...
+    # The lint golden sweep takes ~18 min under the race detector on a
+    # single-core box; the default 10-min per-package timeout is too
+    # tight there, so set one that only a genuine hang can hit.
+    go test -race -timeout 1800s ./...
 fi
 
 if [[ $short -eq 0 ]]; then
@@ -98,6 +102,15 @@ if [[ $short -eq 0 ]]; then
     # lives in chaos_test.go; this exercises the process-kill path.
     echo "== chaos soak smoke (1 app) =="
     SOAK_INPUT=8192 scripts/soak.sh HM
+fi
+
+if [[ $short -eq 0 ]]; then
+    # Serve-soak smoke: one app streamed through a live apserve process
+    # that gets a real SIGKILL mid-stream and restarts on the same
+    # checkpoint store; the loadgen verifies the resumed stream is
+    # bit-identical. The full app set runs in CI's serve-soak job.
+    echo "== serve soak smoke (1 app, real SIGKILL) =="
+    SERVE_SOAK_INPUT=65536 SERVE_SOAK_KILLS=1 scripts/serve_soak.sh HM
 fi
 
 # One-app smoke of the throughput mode: exercises the kernel benchmarks,

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Serve soak: kill/resume across a real process boundary. A loadgen
+# streams every app through a live apserve while this harness SIGKILLs
+# the serving process mid-stream and restarts it on the same checkpoint
+# store. The loadgen verifies every completed stream bit-identical
+# against an uninterrupted local run, so the cell proves exactly-once
+# report delivery across genuine process death — the in-process
+# equivalent (Server.Abort) lives in chaos_test.go.
+#
+#   scripts/serve_soak.sh            # default app set (HM PEN TCP)
+#   scripts/serve_soak.sh HM         # explicit app list (smoke: one app)
+#
+# Environment knobs:
+#   SERVE_SOAK_PORT      listen port                   (default 18425)
+#   SERVE_SOAK_DIVISOR   network scale divisor         (default 8)
+#   SERVE_SOAK_INPUT     input length in symbols       (default 131072)
+#   SERVE_SOAK_EVERY     checkpoint interval           (default 2048)
+#   SERVE_SOAK_KILLS     SIGKILLs delivered mid-run    (default 2)
+#   SERVE_SOAK_STREAMS   verified streams per app      (default 2)
+#   SERVE_SOAK_PACE      per-chunk stream pacing       (default 10ms)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+port=${SERVE_SOAK_PORT:-18425}
+divisor=${SERVE_SOAK_DIVISOR:-8}
+input=${SERVE_SOAK_INPUT:-131072}
+every=${SERVE_SOAK_EVERY:-2048}
+kills=${SERVE_SOAK_KILLS:-2}
+streams=${SERVE_SOAK_STREAMS:-2}
+pace=${SERVE_SOAK_PACE:-10ms}
+apps=("$@")
+[[ ${#apps[@]} -eq 0 ]] && apps=(HM PEN TCP)
+applist=$(IFS=,; echo "${apps[*]}")
+url="http://127.0.0.1:$port"
+
+work=$(mktemp -d)
+server_pid=""
+loadgen_pid=""
+cleanup() {
+    [[ -n "$server_pid" ]] && kill -9 "$server_pid" 2>/dev/null || true
+    [[ -n "$loadgen_pid" ]] && kill "$loadgen_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+apserve="$work/apserve"
+go build -o "$apserve" ./cmd/apserve
+
+# The loadgen rebuilds each app locally to verify streams, so the scale
+# flags must be identical on both sides.
+common=(-apps "$applist" -divisor "$divisor" -input "$input")
+
+start_server() {
+    "$apserve" "${common[@]}" -addr "127.0.0.1:$port" \
+        -store "$work/store" -every "$every" >>"$work/server.log" 2>&1 &
+    server_pid=$!
+    disown "$server_pid" # keep job control quiet about the SIGKILLs
+    for _ in $(seq 100); do
+        if curl -fsS -o /dev/null "$url/healthz" 2>/dev/null; then
+            return 0
+        fi
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            echo "serve_soak: server died during startup:" >&2
+            tail -5 "$work/server.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "serve_soak: server never became ready on $url" >&2
+    exit 1
+}
+
+start_server
+
+# Stream phase is paced, so it stays in flight long enough for every
+# SIGKILL below to land mid-stream; the match phases run afterwards
+# against the final (stable) server generation.
+"$apserve" -loadgen -url "$url" "${common[@]}" \
+    -streams "$streams" -requests 16 -overload 0 -pace "$pace" \
+    >"$work/loadgen.log" 2>&1 &
+loadgen_pid=$!
+
+delivered=0
+sleep 0.2
+for (( k = 0; k < kills; k++ )); do
+    if ! kill -0 "$loadgen_pid" 2>/dev/null; then
+        break # loadgen finished before the full kill plan fired
+    fi
+    kill -9 "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+    delivered=$((delivered + 1))
+    start_server
+    sleep 0.2
+done
+
+status=0
+wait "$loadgen_pid" || status=$?
+loadgen_pid=""
+if (( status != 0 )); then
+    echo "serve_soak: loadgen failed (exit $status):" >&2
+    tail -20 "$work/loadgen.log" >&2
+    exit 1
+fi
+if (( delivered < kills )); then
+    echo "serve_soak: only $delivered/$kills kills landed before the loadgen finished" >&2
+    echo "serve_soak: raise SERVE_SOAK_PACE or SERVE_SOAK_INPUT" >&2
+    exit 1
+fi
+
+# The loadgen prints "... (N resumes, M retries, K sheds)"; a kill that
+# truly interrupted live streams forces at least one reconnect.
+retries=$(grep -o '[0-9]* retries' "$work/loadgen.log" | head -1 | cut -d' ' -f1)
+if [[ -z "$retries" || "$retries" -eq 0 ]]; then
+    echo "serve_soak: $delivered kills landed but no client ever retried:" >&2
+    cat "$work/loadgen.log" >&2
+    exit 1
+fi
+
+grep 'streams verified' "$work/loadgen.log"
+echo "serve_soak: apps=$applist: $delivered kills, $retries retries, streams identical"

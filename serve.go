@@ -1,0 +1,64 @@
+package sparseap
+
+// This file exposes the serving surface: the fault-tolerant multi-tenant
+// streaming match service (internal/serve), its resilient client and
+// load generator, and the per-tenant guard-escalation ladder that
+// degrades storm-prone tenants from SpAP to baseline execution.
+
+import (
+	"context"
+
+	"sparseap/internal/metrics"
+	"sparseap/internal/serve"
+	"sparseap/internal/spap"
+)
+
+type (
+	// MatchServer is the long-lived multi-tenant streaming match service:
+	// shared compiled images, admission control with explicit shedding,
+	// checkpoint-backed exactly-once session resume, graceful drain, and
+	// per-tenant degradation ladders.
+	MatchServer = serve.Server
+	// ServeConfig tunes a MatchServer (quotas, budgets, checkpoint store,
+	// capture interval, guard ladder).
+	ServeConfig = serve.Config
+	// ServeClient is the session-protocol client with retry, backoff, and
+	// transparent resume across server kills and restarts.
+	ServeClient = serve.Client
+	// StreamResult is one completed stream session's exactly-once report
+	// stream.
+	StreamResult = serve.StreamResult
+	// LoadgenOptions configures RunServeLoadgen.
+	LoadgenOptions = serve.LoadgenOptions
+	// BenchServe is the serve benchmark record (latency percentiles,
+	// shed/resume counts) written to BENCH_serve.json.
+	BenchServe = serve.BenchServe
+	// MetricsRegistry is the per-tenant counter registry the serve path
+	// reports into; its WriteText renders Prometheus text exposition.
+	MetricsRegistry = metrics.Registry
+	// LadderConfig tunes the per-tenant guard-escalation ladder.
+	LadderConfig = spap.LadderConfig
+	// GuardLadder tracks one tenant's position on the degradation ladder
+	// (guarded -> baseline -> probe -> guarded).
+	GuardLadder = spap.Ladder
+)
+
+// NewMatchServer builds a match server; make applications resident with
+// AddApp, then Serve/ListenAndServe.
+func NewMatchServer(cfg ServeConfig) *MatchServer { return serve.New(cfg) }
+
+// NewMetricsRegistry builds an empty counter registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewGuardLadder builds a fresh per-tenant escalation ladder.
+func NewGuardLadder(cfg LadderConfig) *GuardLadder { return spap.NewLadder(cfg) }
+
+// RunServeLoadgen drives a running match server through verification,
+// latency, and overload phases; every completed stream is checked
+// bit-identical against an uninterrupted local run.
+func RunServeLoadgen(ctx context.Context, o LoadgenOptions) (*BenchServe, error) {
+	return serve.RunLoadgen(ctx, o)
+}
+
+// WriteBenchServe writes a serve benchmark record as indented JSON.
+func WriteBenchServe(path string, b *BenchServe) error { return serve.WriteBenchServe(path, b) }
