@@ -56,7 +56,8 @@ type Client struct {
 	Resumes atomic.Int64
 	// Retries counts all re-connection attempts after the first.
 	Retries atomic.Int64
-	// Restarts counts 409-forced session restarts.
+	// Restarts counts forced session restarts (409 responses and
+	// in-stream restart records).
 	Restarts atomic.Int64
 }
 
@@ -192,6 +193,11 @@ func (c *Client) streamAttempt(ctx context.Context, appName, id string, input []
 	}
 	if resumePos > 0 {
 		c.Resumes.Add(1)
+	} else if len(have) > 0 {
+		// A session starting at position 0 re-delivers every report (a
+		// non-resumable server restarted, or the slot is gone): drop the
+		// local copies so the assembled stream stays exactly-once.
+		have = have[:0]
 	}
 
 	// Feed the remaining input in the background while reading reports.
@@ -218,26 +224,45 @@ func (c *Client) streamAttempt(ctx context.Context, appName, id string, input []
 	}()
 	defer pw.CloseWithError(io.ErrClosedPipe) // unblock the writer on any exit
 
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 64<<10), 64<<10)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	for {
+		line, rerr := br.ReadString('\n')
+		if rerr != nil {
+			// Connection died mid-stream (server killed): retry and
+			// resume. Any unterminated trailing fragment may be a record
+			// truncated mid-number — a truncated "r 1234 567" still
+			// parses as a valid-looking but wrong report — so only
+			// newline-terminated lines count; the fragment is discarded
+			// and the resume replays that report in full.
+			return attemptBroken, have, nil
+		}
+		fields := strings.Fields(line)
 		if len(fields) == 0 {
 			continue
 		}
 		switch fields[0] {
 		case "r":
 			if len(fields) != 3 {
-				return attemptBroken, have, fmt.Errorf("serve: malformed report %q", sc.Text())
+				return attemptBroken, have, fmt.Errorf("serve: malformed report %q", strings.TrimSpace(line))
 			}
-			pos, _ := strconv.ParseInt(fields[1], 10, 64)
-			state, _ := strconv.ParseInt(fields[2], 10, 64)
+			pos, perr := strconv.ParseInt(fields[1], 10, 64)
+			state, serr := strconv.ParseInt(fields[2], 10, 64)
+			if perr != nil || serr != nil {
+				return attemptBroken, have, fmt.Errorf("serve: malformed report %q", strings.TrimSpace(line))
+			}
 			have = append(have, sim.Report{Pos: pos, State: automata.StateID(state)})
 		case "suspend":
 			return attemptSuspend, have, nil
+		case "restart":
+			// The server cannot resume this session (no durable store
+			// behind it): reconnect from scratch.
+			return attemptRestart, have, nil
 		case "end":
 			if len(fields) == 3 {
-				n, _ := strconv.ParseInt(fields[2], 10, 64)
+				n, nerr := strconv.ParseInt(fields[2], 10, 64)
+				if nerr != nil {
+					return attemptBroken, have, fmt.Errorf("serve: malformed end record %q", strings.TrimSpace(line))
+				}
 				if n != int64(len(have)) {
 					return attemptBroken, have, fmt.Errorf("serve: end declares %d reports, client holds %d", n, len(have))
 				}
@@ -245,24 +270,24 @@ func (c *Client) streamAttempt(ctx context.Context, appName, id string, input []
 			return attemptDone, have, nil
 		}
 	}
-	// Connection died mid-stream (server killed): retry and resume.
-	return attemptBroken, have, nil
 }
 
 // Match runs one /v1/match request. Shed responses return shed=true with
-// a nil result and no error.
-func (c *Client) Match(ctx context.Context, appName string, input []byte) (res *matchResponse, shed bool, err error) {
+// a nil result and no error; retryAfter carries the server's Retry-After
+// delay (zero when absent) so callers can back off at the rate the
+// server asked for.
+func (c *Client) Match(ctx context.Context, appName string, input []byte) (res *matchResponse, shed bool, retryAfter time.Duration, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.URL()+"/v1/match?app="+appName, strings.NewReader(string(input)))
 	if err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
 	if c.Tenant != "" {
 		req.Header.Set("X-Tenant", c.Tenant)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
@@ -270,16 +295,19 @@ func (c *Client) Match(ctx context.Context, appName string, input []byte) (res *
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		io.Copy(io.Discard, resp.Body)
 		c.Sheds.Add(1)
-		return nil, true, nil
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+		return nil, true, retryAfter, nil
 	default:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return nil, false, fmt.Errorf("serve: match status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		return nil, false, 0, fmt.Errorf("serve: match status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}
 	var m matchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
-	return &m, false, nil
+	return &m, false, 0, nil
 }
 
 // LoadgenOptions configures RunLoadgen.
@@ -448,14 +476,22 @@ func RunLoadgen(ctx context.Context, o LoadgenOptions) (*BenchServe, error) {
 			}
 			for {
 				start := time.Now()
-				_, shed, err := mc.Match(ctx, c.abbr, input)
+				_, shed, retryAfter, err := mc.Match(ctx, c.abbr, input)
 				elapsed := time.Since(start)
 				mu.Lock()
 				if shed {
 					bench.Sheds++
 					mu.Unlock()
+					// Back off for as long as the server asked (capped),
+					// falling back to a short delay when it said nothing.
+					delay := retryAfter
+					if delay <= 0 {
+						delay = 20 * time.Millisecond
+					} else if delay > 2*time.Second {
+						delay = 2 * time.Second
+					}
 					select {
-					case <-time.After(20 * time.Millisecond):
+					case <-time.After(delay):
 						continue
 					case <-ctx.Done():
 						return

@@ -197,6 +197,80 @@ func TestDrainSuspendsAndResumes(t *testing.T) {
 	}
 }
 
+// TestDrainWithoutStoreRestarts drains a server that has no checkpoint
+// store mid-stream. Suspend is meaningless without durable state, so the
+// server must send a restart record and the client must rebuild the
+// stream from scratch against the next server — still exactly-once.
+func TestDrainWithoutStoreRestarts(t *testing.T) {
+	testleak.Check(t)
+	net := testNet(t)
+	input := testInput(1 << 17)
+	h1 := startServer(t, Config{}, net)
+	var url atomic.Value
+	url.Store(h1.ts.URL)
+	cl := &Client{
+		URL:    func() string { return url.Load().(string) },
+		Tenant: "t0",
+		Chunk:  512,
+		Pace:   200 * time.Microsecond,
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		h2 := startServer(t, Config{}, net)
+		url.Store(h2.ts.URL)
+		drained <- h1.s.Drain(5 * time.Second)
+	}()
+
+	res, err := cl.Stream(context.Background(), "test", input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derr := <-drained; derr != nil {
+		t.Fatalf("drain: %v", derr)
+	}
+	if err := sameReports(res.Reports, expectedReports(net, input)); err != nil {
+		t.Fatalf("post-drain stream not bit-identical: %v", err)
+	}
+	snap := h1.s.Registry().Snapshot()
+	if snap[`serve_sessions_restarted{tenant="t0"}`] == 0 && cl.Restarts.Load() == 0 {
+		t.Fatalf("drain raced past the stream: restarted=%v restarts=%d (stream too fast for the test)",
+			snap[`serve_sessions_restarted{tenant="t0"}`], cl.Restarts.Load())
+	}
+}
+
+// TestStreamClientDiscardsTruncatedLine kills the connection after a
+// report line cut mid-number — exactly what a SIGKILLed server leaves in
+// the socket. The client must discard the unterminated fragment (which
+// still has three fields and would parse as a plausible-looking report)
+// and report the attempt broken so the resume replays it in full.
+func TestStreamClientDiscardsTruncatedLine(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, buf, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// "r 1234 567\n" truncated by the kill; close-delimited body so
+		// the client sees EOF right after the fragment, no newline ever.
+		buf.WriteString("HTTP/1.1 200 OK\r\nX-Resume-Pos: 0\r\nConnection: close\r\n\r\n" +
+			"r 10 1\nr 1234 56")
+		buf.Flush()
+		conn.Close()
+	}))
+	defer ts.Close()
+
+	cl := &Client{URL: func() string { return ts.URL }}
+	out, reports, _ := cl.streamAttempt(context.Background(), "test", newSessionID(), testInput(64), nil, false)
+	if out != attemptBroken {
+		t.Fatalf("truncated stream outcome = %d, want attemptBroken", out)
+	}
+	if len(reports) != 1 || reports[0] != (sim.Report{Pos: 10, State: 1}) {
+		t.Fatalf("truncated fragment parsed as a report: %+v", reports)
+	}
+}
+
 // TestAdmissionGlobalSessionCap holds one stream open and requires the
 // next request to shed 503 with a Retry-After header.
 func TestAdmissionGlobalSessionCap(t *testing.T) {
@@ -346,7 +420,7 @@ func TestDegradationLadderRouting(t *testing.T) {
 
 	match := func(tenant string) *matchResponse {
 		cl := &Client{URL: func() string { return h.ts.URL }, Tenant: tenant}
-		m, shed, err := cl.Match(context.Background(), "test", input)
+		m, shed, _, err := cl.Match(context.Background(), "test", input)
 		if err != nil || shed {
 			t.Fatalf("match: shed=%v err=%v", shed, err)
 		}

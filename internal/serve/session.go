@@ -8,6 +8,8 @@
 //
 //	r <pos> <state>    one match report
 //	suspend <pos>      server is draining; reconnect and resume
+//	restart <pos>      server cannot resume (no store); reconnect and
+//	                   restart from scratch, discarding local reports
 //	end <pos> <n>      stream complete after pos symbols, n reports total
 //
 // Request headers: X-Tenant, X-Session (resume an existing session),
@@ -360,11 +362,12 @@ func (s *Server) saveFlush(w http.ResponseWriter, rc *http.ResponseController, s
 	for _, rep := range sess.window {
 		if _, err := fmt.Fprintf(w, "r %d %d\n", rep.Pos, rep.State); err != nil {
 			// The client is gone; the reports stay durable in the slot
-			// and the reconnect replays them.
+			// and the reconnect replays (and then counts) them.
 			sess.releaseWindow()
 			return err
 		}
 	}
+	s.reg.Counter("serve_reports_delivered").Add(int64(len(sess.window)))
 	sess.releaseWindow()
 	return rc.Flush()
 }
@@ -384,12 +387,22 @@ func (s *Server) streamLoop(ctx context.Context, w http.ResponseWriter, rc *http
 	suspend := func(reason string) {
 		// Server-side stop (drain or deadline): make the state durable,
 		// release what is covered, and tell the client to come back.
+		// Without a store there is nothing to resume from — a suspend
+		// would strand the client holding reports the next incarnation
+		// re-delivers — so tell it to restart the session from scratch
+		// instead (the client discards its local reports, keeping the
+		// final stream exactly-once).
 		if err := s.saveFlush(w, rc, sess, resumable); err != nil {
 			return
 		}
-		fmt.Fprintf(w, "suspend %d\n", sess.st.Pos())
+		if resumable {
+			fmt.Fprintf(w, "suspend %d\n", sess.st.Pos())
+			s.reg.Tenant("serve_sessions_suspended", sess.tenant).Inc()
+		} else {
+			fmt.Fprintf(w, "restart %d\n", sess.st.Pos())
+			s.reg.Tenant("serve_sessions_restarted", sess.tenant).Inc()
+		}
 		rc.Flush()
-		s.reg.Tenant("serve_sessions_suspended", sess.tenant).Inc()
 		if reason == "deadline" {
 			s.reg.Tenant("serve_deadline_cancels", sess.tenant).Inc()
 		}
@@ -439,9 +452,7 @@ func (s *Server) streamLoop(ctx context.Context, w http.ResponseWriter, rc *http
 			if err := s.saveFlush(w, rc, sess, resumable); err != nil {
 				return
 			}
-			nrep := sess.st.NumReports()
-			s.reg.Counter("serve_reports_delivered").Add(nrep)
-			fmt.Fprintf(w, "end %d %d\n", sess.st.Pos(), nrep)
+			fmt.Fprintf(w, "end %d %d\n", sess.st.Pos(), sess.st.NumReports())
 			rc.Flush()
 			if resumable {
 				s.cfg.Store.Remove(slotName(sess.id))
