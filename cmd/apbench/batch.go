@@ -1,0 +1,276 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"sparseap/internal/sim"
+	"sparseap/internal/workloads"
+)
+
+// Batch mode (-streams N): per-application solo-vs-batch throughput over
+// the multi-stream bit-sliced kernel, written as BENCH_batch.json.
+//
+// The solo baseline runs the N lane inputs sequentially on one pooled
+// adaptive-kernel engine. Two batch cells run the same total bytes in
+// lockstep lanes of one BatchEngine:
+//
+//   - "batch" (the headline and the -check gate): ragged-length prefixes
+//     of the app's input stream — concurrent scans of shared content, the
+//     shape the serve batcher coalesces. Lanes read the same byte each
+//     cycle, so every per-symbol image access is paid once for the whole
+//     batch and the speedup approaches the lane count.
+//   - "indep_batch" (the honesty cell, recorded but not gated): the same
+//     ragged lengths at 64 independent phases. Uncorrelated lanes share
+//     neither symbols nor frontier states, so bit-slicing has little to
+//     amortize and can lose to the solo engine — the recorded number is
+//     the cost of batching the wrong workload.
+//
+// Before measuring, both lane sets' per-lane batch report streams are
+// checked bit-identical to solo runs — a mismatch fails the run
+// regardless of -check. With -check, the run also fails if the aligned
+// cell's speedup falls below 2x minus the tolerance: the amortization
+// claim, fenced.
+
+// batchAppBench is one application's solo-vs-batch measurement.
+type batchAppBench struct {
+	App               string      `json:"app"`
+	Name              string      `json:"name"`
+	States            int         `json:"states"`
+	NFAs              int         `json:"nfas"`
+	Streams           int         `json:"streams"`
+	TotalBytes        int64       `json:"total_bytes"`
+	Reports           int64       `json:"reports"`
+	DenseTickPct      float64     `json:"dense_tick_pct"` // aligned cell's dense share
+	Solo              kernelStats `json:"solo"`
+	Batch             kernelStats `json:"batch"`       // phase-aligned lanes
+	Speedup           float64     `json:"speedup"`     // batch MB/s over solo MB/s
+	IndepBatch        kernelStats `json:"indep_batch"` // independent-phase lanes
+	IndepSpeedup      float64     `json:"indep_speedup"`
+	IndepDenseTickPct float64     `json:"indep_dense_tick_pct"`
+}
+
+// batchBenchFile is the BENCH_batch.json schema.
+type batchBenchFile struct {
+	Config struct {
+		Divisor    int    `json:"divisor"`
+		InputLen   int    `json:"input_len"`
+		Seed       int64  `json:"seed"`
+		Benchtime  string `json:"benchtime"`
+		Go         string `json:"go"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		Streams    int    `json:"streams"`
+	} `json:"config"`
+	Apps []batchAppBench `json:"apps"`
+}
+
+// laneLengths draws the ragged per-lane lengths (60-100% of the app
+// input), deterministic in the workload seed.
+func laneLengths(app *workloads.App, streams int, seed int64) []int {
+	r := rand.New(rand.NewSource(seed*1_000_003 + int64(len(app.Input))))
+	ns := make([]int, streams)
+	for l := range ns {
+		ns[l] = len(app.Input) * (60 + r.Intn(41)) / 100
+	}
+	return ns
+}
+
+// alignedLaneInputs builds the phase-aligned lane set: ragged prefixes of
+// the app's input. Running lanes read identical bytes each cycle.
+func alignedLaneInputs(app *workloads.App, ns []int) [][]byte {
+	out := make([][]byte, len(ns))
+	for l, n := range ns {
+		out[l] = app.Input[:n]
+	}
+	return out
+}
+
+// indepLaneInputs builds the independent-phase lane set: the same ragged
+// lengths, each lane rotated to its own random offset in the input.
+func indepLaneInputs(app *workloads.App, ns []int, seed int64) [][]byte {
+	r := rand.New(rand.NewSource(seed*7_368_787 + int64(len(app.Input))))
+	out := make([][]byte, len(ns))
+	for l, n := range ns {
+		off := r.Intn(len(app.Input))
+		in := make([]byte, n)
+		for i := range in {
+			in[i] = app.Input[(off+i)%len(app.Input)]
+		}
+		out[l] = in
+	}
+	return out
+}
+
+// runStreams executes the -streams mode.
+func runStreams(cfg workloads.Config, appsFlag, outPath, benchtime string, streams int, check bool, tolerance float64) error {
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return fmt.Errorf("bad -benchtime: %w", err)
+	}
+	if streams > sim.MaxLanes {
+		return fmt.Errorf("-streams %d exceeds the %d-lane batch kernel", streams, sim.MaxLanes)
+	}
+	names := workloads.Names()
+	if appsFlag != "all" {
+		names = nil
+		for _, n := range strings.Split(appsFlag, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+	var out batchBenchFile
+	out.Config.Divisor = cfg.Divisor
+	out.Config.InputLen = cfg.InputLen
+	out.Config.Seed = cfg.Seed
+	out.Config.Benchtime = benchtime
+	out.Config.Go = runtime.Version()
+	out.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	out.Config.Streams = streams
+	var failures []string
+	for _, name := range names {
+		app, err := workloads.Build(name, cfg)
+		if err != nil {
+			return err
+		}
+		ns := laneLengths(app, streams, cfg.Seed)
+		aligned := alignedLaneInputs(app, ns)
+		indep := indepLaneInputs(app, ns, cfg.Seed)
+		var totalBytes int64
+		for _, n := range ns {
+			totalBytes += int64(n)
+		}
+		// Per-lane equivalence gate on both lane sets: the batch kernel
+		// must reproduce the solo report stream bit-for-bit on every lane
+		// before we bother timing it.
+		var reports int64
+		for _, inputs := range [][][]byte{aligned, indep} {
+			reports = 0
+			for l, res := range sim.RunBatch(app.Net, inputs, sim.BatchOptions{CollectReports: true}) {
+				solo := sim.Run(app.Net, inputs[l], sim.Options{CollectReports: true})
+				if err := sameBatchReports(res.Reports, solo.Reports); err != nil {
+					return fmt.Errorf("%s lane %d diverged from solo: %w", app.Abbr, l, err)
+				}
+				reports += res.NumReports
+			}
+		}
+		row := batchAppBench{
+			App:        app.Abbr,
+			Name:       app.Name,
+			States:     app.Net.Len(),
+			NFAs:       app.Net.NumNFAs(),
+			Streams:    streams,
+			TotalBytes: totalBytes,
+			Reports:    reports,
+			Solo:       measureSoloLanes(app, aligned, totalBytes),
+		}
+		row.Batch, row.DenseTickPct = measureBatchLanes(app, aligned, totalBytes, streams)
+		row.Speedup = row.Batch.MBPerSec / row.Solo.MBPerSec
+		row.IndepBatch, row.IndepDenseTickPct = measureBatchLanes(app, indep, totalBytes, streams)
+		row.IndepSpeedup = row.IndepBatch.MBPerSec / row.Solo.MBPerSec
+		verdict := ""
+		if check && row.Speedup < 2*(1-tolerance) {
+			verdict = "  REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("%s: aligned batch speedup %.2fx below the %.2fx fence (batch %.1f vs solo %.1f MB/s)",
+					app.Abbr, row.Speedup, 2*(1-tolerance), row.Batch.MBPerSec, row.Solo.MBPerSec))
+		}
+		fmt.Printf("%-6s %7d states  solo %8.1f MB/s  batch %8.1f MB/s  %6.2fx aligned  %5.2fx indep%s\n",
+			app.Abbr, row.States, row.Solo.MBPerSec, row.Batch.MBPerSec, row.Speedup,
+			row.IndepSpeedup, verdict)
+		out.Apps = append(out.Apps, row)
+	}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d apps, %d streams)\n", outPath, len(out.Apps), streams)
+	if len(failures) > 0 {
+		return fmt.Errorf("batch kernel fell below the amortization fence:\n  %s",
+			strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// sameBatchReports compares two report streams exactly.
+func sameBatchReports(got, want []sim.Report) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d reports, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("report %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// measureSoloLanes times the sequential baseline: every lane input run to
+// completion, one after another, on a single pooled adaptive-kernel
+// engine.
+func measureSoloLanes(app *workloads.App, inputs [][]byte, totalBytes int64) kernelStats {
+	eng := sim.AcquireEngine(app.Net, sim.Options{})
+	defer eng.Release()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(totalBytes)
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			for _, input := range inputs {
+				eng.Reset()
+				for i, c := range input {
+					eng.Step(int64(i), c)
+				}
+			}
+		}
+	})
+	return lanesStats(r, totalBytes, 1)
+}
+
+// measureBatchLanes times the same lane inputs run in lockstep on one
+// batch engine, and returns the dense-tick share of an instrumented pass.
+func measureBatchLanes(app *workloads.App, inputs [][]byte, totalBytes int64, streams int) (kernelStats, float64) {
+	be := sim.AcquireBatchEngine(app.Net, sim.BatchOptions{})
+	defer be.Release()
+	runOnce := func() {
+		be.Reset()
+		for _, in := range inputs {
+			be.Join(in)
+		}
+		for be.Running() > 0 {
+			be.Tick()
+		}
+	}
+	runOnce() // instrumented warm-up pass for the kernel-mix split
+	densePct := 0.0
+	if total := be.DenseTicks() + be.SparseTicks(); total > 0 {
+		densePct = 100 * float64(be.DenseTicks()) / float64(total)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(totalBytes)
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			runOnce()
+		}
+	})
+	return lanesStats(r, totalBytes, streams), densePct
+}
+
+// lanesStats converts a benchmark result over totalBytes of streamed
+// input into the shared kernelStats record.
+func lanesStats(r testing.BenchmarkResult, totalBytes int64, width int) kernelStats {
+	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	return kernelStats{
+		NsPerOp:     nsPerOp,
+		NsPerSymbol: nsPerOp / float64(totalBytes),
+		MBPerSec:    float64(totalBytes) / 1e6 / (nsPerOp / 1e9),
+		AllocsPerOp: r.AllocsPerOp(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		BatchWidth:  width,
+	}
+}

@@ -21,6 +21,19 @@
 // -tolerance slower than the sparse walk on any selected app — a
 // machine-independent regression gate CI runs on the PEN/Snort benches.
 //
+// Batch mode:
+//
+//	apbench -streams 64 [-apps all|PEN,Snort,...] [-benchtime 1s] [-out BENCH_batch.json] \
+//	        [-check] [-tolerance 0.20] [-divisor 8] [-input 131072] [-seed 1]
+//
+// benchmarks the multi-stream bit-sliced batch kernel: N concurrent
+// streams in lockstep lanes of one batch engine versus the same streams
+// run sequentially on a solo engine, over a phase-aligned lane set (the
+// amortizable shape) and an independent-phase set (the honesty cell).
+// Every lane's batch report stream is verified bit-identical to a solo
+// run before timing. With -check it exits nonzero if the aligned cell's
+// speedup falls below 2x minus -tolerance — the CI bench-batch gate.
+//
 // Prediction mode:
 //
 //	apbench -predict [-apps all|PEN,Snort,...] [-out BENCH_predict.json] [-check] \
@@ -89,11 +102,23 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.20, "throughput mode: allowed adaptive-vs-sparse slowdown for -check")
 
 		predictFlag = flag.Bool("predict", false, "prediction mode: static vs profiled partitioning study, write JSON")
+		streamsF    = flag.Int("streams", 0, "batch mode: solo-vs-batch throughput over N concurrent streams, write JSON")
 	)
 	testing.Init() // registers test.benchtime before Parse; throughput mode sets it
 	flag.Parse()
 
 	wl := workloads.Config{InputLen: *inputLen, Divisor: *divisor, Seed: *seed}
+	if *streamsF > 0 {
+		out := *outFlag
+		if out == "BENCH_sim.json" { // the throughput-mode default; not meaningful here
+			out = "BENCH_batch.json"
+		}
+		if err := runStreams(wl, *appsFlag, out, *benchtime, *streamsF, *checkFlag, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "apbench -streams: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonFlag {
 		if err := runThroughput(wl, *appsFlag, *outFlag, *benchtime, *checkFlag, *tolerance); err != nil {
 			fmt.Fprintf(os.Stderr, "apbench -json: %v\n", err)

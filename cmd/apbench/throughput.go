@@ -19,12 +19,18 @@ import (
 // on a pooled engine — the same steady state the paper's streaming model
 // assumes — so allocs/op is expected to be 0.
 
-// kernelStats is one (app, kernel) measurement.
+// kernelStats is one (app, kernel) measurement. Every record carries the
+// parallelism context it was measured under: GOMAXPROCS (the runtime can
+// move the benchmark goroutine across cores) and the batch width (1 for
+// the solo kernels, the lane count for batch-kernel records), so records
+// from different machines and modes are comparable.
 type kernelStats struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	NsPerSymbol float64 `json:"ns_per_symbol"`
 	MBPerSec    float64 `json:"mb_per_s"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	BatchWidth  int     `json:"batch_width"`
 }
 
 // appBench aggregates one application's measurements.
@@ -151,5 +157,7 @@ func measureKernel(app *workloads.App, k sim.Kernel) kernelStats {
 		NsPerSymbol: nsPerOp / float64(len(input)),
 		MBPerSec:    float64(len(input)) / 1e6 / (nsPerOp / 1e9),
 		AllocsPerOp: r.AllocsPerOp(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		BatchWidth:  1,
 	}
 }

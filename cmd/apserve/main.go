@@ -53,6 +53,8 @@ func main() {
 		burst        = flag.Float64("burst", 0, "per-tenant admission burst (0 = 2x rate)")
 		memBudget    = flag.Int64("membudget", 0, "resident memory budget in bytes (0 = unlimited)")
 		drainWait    = flag.Duration("drain", 30*time.Second, "graceful drain timeout on SIGTERM")
+		batchLanes   = flag.Int("batch-streams", 0, "coalesce concurrent /v1/match calls into batch ticks of up to N lanes (0/1 = solo path)")
+		batchWindow  = flag.Duration("batch-window", 0, "admission window a lone match waits for batch company (0 = 500us default)")
 
 		loadgen  = flag.Bool("loadgen", false, "run as load generator against -url instead of serving")
 		url      = flag.String("url", "http://127.0.0.1:8425", "server base URL (loadgen mode)")
@@ -80,6 +82,8 @@ func main() {
 		RatePerSec:   *rate,
 		Burst:        *burst,
 		MemBudget:    *memBudget,
+		BatchStreams: *batchLanes,
+		BatchWindow:  *batchWindow,
 	}
 	if *storeDir != "" {
 		store, err := checkpoint.Open(*storeDir)

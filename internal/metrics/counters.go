@@ -43,6 +43,7 @@ type Registry struct {
 	mu       sync.RWMutex
 	plain    map[string]*Counter
 	labelled map[string]map[string]*Counter // name -> tenant -> counter
+	hists    map[string]*Histogram          // see histogram.go
 }
 
 // NewRegistry returns an empty registry.
@@ -138,6 +139,7 @@ func (r *Registry) WriteText(b *strings.Builder) {
 	for _, k := range keys {
 		fmt.Fprintf(b, "%s %d\n", k, snap[k])
 	}
+	r.writeHistText(b)
 }
 
 // String renders the registry (see WriteText).

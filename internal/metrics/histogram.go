@@ -1,0 +1,100 @@
+// Histograms for the serving path: fixed explicit buckets, lock-free
+// observation, Prometheus text rendering. The serving batcher records
+// batch widths and admission-window waits here; counters alone cannot
+// answer "what width do batches actually form at p99".
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed upper-bound buckets. The
+// bounds are set at registration and immutable; observations above the
+// last bound land in the implicit +Inf bucket. All methods are safe for
+// concurrent use.
+type Histogram struct {
+	bounds []int64        // ascending upper bounds (inclusive)
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Int64
+	total  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// BucketCount returns the count of observations at or below bounds[i],
+// cumulatively (Prometheus le-semantics); i == len(bounds) is +Inf.
+func (h *Histogram) BucketCount(i int) int64 {
+	var c int64
+	for j := 0; j <= i && j < len(h.counts); j++ {
+		c += h.counts[j].Load()
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later calls ignore bounds). Bounds must be
+// ascending.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		if r.hists == nil {
+			r.hists = map[string]*Histogram{}
+		}
+		h = &Histogram{
+			bounds: append([]int64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// writeHistText renders every histogram in Prometheus text exposition
+// form (name_bucket{le="..."} cumulative counts, name_sum, name_count),
+// sorted by name. Called by Registry.WriteText.
+func (r *Registry) writeHistText(b *strings.Builder) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	hists := make([]*Histogram, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		hists = append(hists, r.hists[n])
+	}
+	r.mu.RUnlock()
+	for i, n := range names {
+		h := hists[i]
+		cum := int64(0)
+		for j, bound := range h.bounds {
+			cum += h.counts[j].Load()
+			fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", n, bound, cum)
+		}
+		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.total.Load())
+		fmt.Fprintf(b, "%s_sum %d\n", n, h.sum.Load())
+		fmt.Fprintf(b, "%s_count %d\n", n, h.total.Load())
+	}
+}

@@ -1,0 +1,277 @@
+// Batched one-shot matching: concurrent /v1/match calls for the same
+// resident application coalesce into multi-stream batch ticks.
+//
+// apserve's match traffic is exactly the shape sim.BatchEngine amortizes
+// — many independent bounded inputs against one resident image — so when
+// batching is enabled (Config.BatchStreams > 1) each application gets a
+// batcher: a single worker goroutine that admits requests into lanes of
+// one batch engine and lockstep-ticks them together, walking the image
+// once per symbol position for the whole batch.
+//
+// Latency guarantees at low concurrency:
+//
+//   - a lone request waits at most Config.BatchWindow (default 500 µs)
+//     for company before its batch starts ticking;
+//   - late arrivals join free lanes of a batch already in flight instead
+//     of waiting for it to finish;
+//   - each lane carries its request's context: an expired deadline
+//     retires that lane mid-batch without stalling its neighbours.
+//
+// Admission control is untouched: every request passes the tenant token
+// bucket, concurrency caps, and the global memory budget (charged at the
+// batch engine's per-lane share) before it reaches the batcher, so the
+// 429/503 shed guarantees hold identically with batching on.
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/bits"
+	"net/http"
+	"time"
+
+	"sparseap/internal/sim"
+)
+
+const (
+	// defaultBatchWindow bounds the p99 cost a lone request pays for the
+	// chance to be coalesced.
+	defaultBatchWindow = 500 * time.Microsecond
+	// batchJoinCheckTicks is how many lockstep ticks pass between
+	// deadline checks and late-join polls — a few microseconds of
+	// streaming, far below any request deadline.
+	batchJoinCheckTicks = 256
+)
+
+// batchWidthBounds buckets the coalesced-streams-per-batch histogram.
+var batchWidthBounds = []int64{1, 2, 4, 8, 16, 32, 64}
+
+// batchWaitBounds buckets the admission-window wait in nanoseconds
+// (1 µs .. 100 ms).
+var batchWaitBounds = []int64{1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000}
+
+// errServerStopped refuses batched work when the server is shutting
+// down; matchError maps it to 503 so clients retry the next process.
+var errServerStopped = errors.New("serve: server stopped")
+
+// batchReq is one match request waiting for (or riding in) a batch.
+type batchReq struct {
+	input []byte
+	ctx   context.Context
+	enq   time.Time
+	done  chan batchResult // buffered(1); the worker never blocks on it
+}
+
+// batchResult is the worker's answer.
+type batchResult struct {
+	reports []sim.Report
+	num     int64
+	err     error
+}
+
+// batcher coalesces one application's match requests. One worker
+// goroutine owns the batch engine; handlers only enqueue and wait.
+type batcher struct {
+	s  *Server
+	a  *app
+	ch chan *batchReq
+}
+
+// batchingEnabled reports whether /v1/match routes through batchers.
+func (s *Server) batchingEnabled() bool { return s.cfg.BatchStreams > 1 }
+
+// batcherFor returns the app's batcher, starting its worker on first
+// use; nil once the server has stopped.
+func (s *Server) batcherFor(a *app) *batcher {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.batchStopped {
+		return nil
+	}
+	bt := s.batchers[a.name]
+	if bt == nil {
+		bt = &batcher{s: s, a: a, ch: make(chan *batchReq, sim.MaxLanes)}
+		s.batchers[a.name] = bt
+		s.batchWG.Add(1)
+		go bt.run()
+	}
+	return bt
+}
+
+// stopBatchers terminates every batcher worker and waits for them to
+// unwind. Called after Drain has unwound all sessions (no requests can
+// be in flight) and on Abort (in-flight lanes answer errServerStopped).
+func (s *Server) stopBatchers() {
+	s.mu.Lock()
+	if !s.batchStopped {
+		s.batchStopped = true
+		close(s.batchStop)
+	}
+	s.mu.Unlock()
+	s.batchWG.Wait()
+}
+
+// batchMatch runs one admitted input through the app's batcher and waits
+// for its lane to retire.
+func (s *Server) batchMatch(ctx context.Context, a *app, input []byte) ([]sim.Report, int64, error) {
+	bt := s.batcherFor(a)
+	if bt == nil {
+		return nil, 0, errServerStopped
+	}
+	req := &batchReq{input: input, ctx: ctx, enq: s.cfg.Now(), done: make(chan batchResult, 1)}
+	select {
+	case bt.ch <- req:
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	case <-s.batchStop:
+		return nil, 0, errServerStopped
+	}
+	select {
+	case res := <-req.done:
+		return res.reports, res.num, res.err
+	case <-ctx.Done():
+		// The worker sees the expired context at its next deadline check
+		// and retires the lane; the buffered done channel absorbs its
+		// late answer.
+		return nil, 0, ctx.Err()
+	}
+}
+
+// run is the worker loop: idle between batches, one runBatch per burst.
+func (bt *batcher) run() {
+	s := bt.s
+	defer s.batchWG.Done()
+	for {
+		select {
+		case <-s.batchStop:
+			bt.refusePending()
+			return
+		case req := <-bt.ch:
+			bt.runBatch(req)
+		}
+	}
+}
+
+// refusePending answers every queued request with errServerStopped.
+func (bt *batcher) refusePending() {
+	for {
+		select {
+		case req := <-bt.ch:
+			req.done <- batchResult{err: errServerStopped}
+		default:
+			return
+		}
+	}
+}
+
+// runBatch coalesces first plus whatever arrives within the admission
+// window (and late arrivals into freed lanes) and ticks them to
+// completion.
+func (bt *batcher) runBatch(first *batchReq) {
+	s := bt.s
+	maxLanes := s.cfg.BatchStreams
+	if maxLanes > sim.MaxLanes {
+		maxLanes = sim.MaxLanes
+	}
+	be := bt.a.img.AcquireBatch(sim.BatchOptions{CollectReports: true})
+	defer be.Release()
+	var reqs [sim.MaxLanes]*batchReq
+	occupied := 0
+	joined := int64(0)
+	waitHist := s.reg.Histogram("serve_batch_wait_ns", batchWaitBounds)
+	join := func(r *batchReq) {
+		if err := r.ctx.Err(); err != nil {
+			r.done <- batchResult{err: err}
+			return
+		}
+		lane, ok := be.Join(r.input)
+		if !ok {
+			r.done <- batchResult{err: errServerStopped}
+			return
+		}
+		joined++
+		waitHist.Observe(s.cfg.Now().Sub(r.enq).Nanoseconds())
+		if be.Done(lane) { // empty input: completes without ticking
+			r.done <- batchResult{}
+			be.Free(lane)
+			return
+		}
+		reqs[lane] = r
+		occupied++
+	}
+	finish := func(lane int, res batchResult) {
+		req := reqs[lane]
+		reqs[lane] = nil
+		occupied--
+		be.Free(lane)
+		req.done <- res
+	}
+
+	join(first)
+	if window := s.cfg.BatchWindow; occupied > 0 && window > 0 {
+		timer := time.NewTimer(window)
+	gather:
+		for occupied < maxLanes {
+			select {
+			case r := <-bt.ch:
+				join(r)
+			case <-timer.C:
+				break gather
+			case <-s.batchStop:
+				break gather
+			}
+		}
+		timer.Stop()
+	}
+
+	ticks := 0
+	for be.Running() > 0 {
+		for m := be.Tick(); m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			reports := append([]sim.Report(nil), be.LaneReports(lane)...)
+			finish(lane, batchResult{reports: reports, num: be.LaneNumReports(lane)})
+		}
+		if ticks++; ticks%batchJoinCheckTicks != 0 {
+			continue
+		}
+		if s.killed() {
+			for lane, req := range reqs {
+				if req != nil {
+					be.Retire(lane)
+					finish(lane, batchResult{err: errServerStopped})
+				}
+			}
+			break
+		}
+		// Per-lane deadlines: an expired request retires alone.
+		for lane, req := range reqs {
+			if req != nil && req.ctx.Err() != nil {
+				err := req.ctx.Err()
+				be.Retire(lane)
+				finish(lane, batchResult{err: err})
+			}
+		}
+		// Late arrivals fill freed lanes without waiting for this batch.
+	late:
+		for occupied < maxLanes {
+			select {
+			case r := <-bt.ch:
+				join(r)
+			default:
+				break late
+			}
+		}
+	}
+	if joined > 0 {
+		s.reg.Histogram("serve_batch_width", batchWidthBounds).Observe(joined)
+		s.reg.Counter("serve_batch_runs").Inc()
+	}
+}
+
+// batchMatchError is matchError's extension for the batched path.
+func batchStatus(err error) (int, bool) {
+	if errors.Is(err, errServerStopped) {
+		return http.StatusServiceUnavailable, true
+	}
+	return 0, false
+}

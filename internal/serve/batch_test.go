@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sparseap/internal/testleak"
+)
+
+// TestBatchMatchIdenticalToSolo fires a concurrent burst of /v1/match
+// requests with batching enabled; every reply must be bit-identical to
+// an uninterrupted solo run of the same input, the batch metrics must
+// appear on /metrics, and Drain must unwind the batcher workers.
+func TestBatchMatchIdenticalToSolo(t *testing.T) {
+	testleak.Check(t)
+	net := testNet(t)
+	h := startServer(t, Config{BatchStreams: 16, BatchWindow: 2 * time.Millisecond}, net)
+
+	lens := []int{0, 1, 37, 1024, 4096, 8192, 16384, 32768}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*len(lens))
+	for i := 0; i < 4*len(lens); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			input := testInput(lens[i%len(lens)])
+			cl := &Client{URL: func() string { return h.ts.URL }, Tenant: fmt.Sprintf("t%d", i%3)}
+			m, shed, _, err := cl.Match(context.Background(), "test", input)
+			if err != nil || shed {
+				errs <- fmt.Errorf("match %d: shed=%v err=%v", i, shed, err)
+				return
+			}
+			if m.Mode != "batch" {
+				errs <- fmt.Errorf("match %d: mode = %q, want batch", i, m.Mode)
+				return
+			}
+			want := expectedReports(net, input)
+			if int(m.NumReports) != len(want) || len(m.Reports) != len(want) {
+				errs <- fmt.Errorf("match %d: %d reports, want %d", i, m.NumReports, len(want))
+				return
+			}
+			for j, rep := range want {
+				if m.Reports[j] != [2]int64{rep.Pos, int64(rep.State)} {
+					errs <- fmt.Errorf("match %d: report %d = %v, want %v", i, j, m.Reports[j], rep)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	resp, err := http.Get(h.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"serve_batch_width_bucket{le=\"64\"}",
+		"serve_batch_width_count",
+		"serve_batch_wait_ns_count",
+		"serve_batch_runs",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	if err := h.s.Drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchLaneDeadlineDoesNotStallBatch puts two long streams in one
+// batch and cancels one mid-flight: the cancelled lane must retire with
+// its context error while its neighbour completes bit-identically.
+func TestBatchLaneDeadlineDoesNotStallBatch(t *testing.T) {
+	testleak.Check(t)
+	net := testNet(t)
+	s := New(Config{BatchStreams: 4, BatchWindow: 50 * time.Millisecond})
+	if err := s.AddApp("test", net, "test/v1"); err != nil {
+		t.Fatal(err)
+	}
+	a := s.lookupApp("test")
+	input := testInput(1 << 22)
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var errA error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, errA = s.batchMatch(ctxA, a, input)
+	}()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancelA()
+	}()
+
+	reports, num, err := s.batchMatch(context.Background(), a, input)
+	if err != nil {
+		t.Fatalf("surviving lane failed: %v", err)
+	}
+	want := expectedReports(net, input)
+	if int(num) != len(want) || len(reports) != len(want) {
+		t.Fatalf("surviving lane: %d reports, want %d", num, len(want))
+	}
+	for i, rep := range want {
+		if reports[i] != rep {
+			t.Fatalf("surviving lane report %d = %v, want %v", i, reports[i], rep)
+		}
+	}
+	wg.Wait()
+	// The cancelled lane either retired mid-batch with its context error
+	// or (on a very fast box) finished before the cancel landed.
+	if errA != nil && !errors.Is(errA, context.Canceled) {
+		t.Fatalf("cancelled lane err = %v, want context.Canceled or nil", errA)
+	}
+	if err := s.Drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchOverloadShedsNotFails is the overload cell with batching on:
+// a burst far beyond the session caps must split cleanly into exact
+// answers and explicit 429/503 sheds — batching must not open an
+// admission bypass or corrupt answers under pressure.
+func TestBatchOverloadShedsNotFails(t *testing.T) {
+	testleak.Check(t)
+	net := testNet(t)
+	h := startServer(t, Config{BatchStreams: 8, MaxSessions: 3, MaxPerTenant: 2}, net)
+	input := testInput(1 << 17)
+	want := expectedReports(net, input)
+
+	const n = 32
+	type outcome struct {
+		m    *matchResponse
+		shed bool
+		err  error
+	}
+	results := make(chan outcome, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			cl := &Client{URL: func() string { return h.ts.URL }, Tenant: fmt.Sprintf("t%d", i%4)}
+			m, shed, _, err := cl.Match(context.Background(), "test", input)
+			results <- outcome{m: m, shed: shed, err: err}
+		}(i)
+	}
+	var ok, shed int
+	for i := 0; i < n; i++ {
+		r := <-results
+		switch {
+		case r.err != nil:
+			t.Fatalf("request failed outright: %v", r.err)
+		case r.shed:
+			shed++
+		default:
+			ok++
+			if r.m.Mode != "batch" {
+				t.Fatalf("accepted match mode = %q, want batch", r.m.Mode)
+			}
+			if int(r.m.NumReports) != len(want) {
+				t.Fatalf("accepted match reports = %d, want %d", r.m.NumReports, len(want))
+			}
+		}
+	}
+	if shed == 0 {
+		t.Fatalf("overload produced no sheds (ok=%d)", ok)
+	}
+	if ok == 0 {
+		t.Fatal("overload accepted nothing")
+	}
+	if err := h.s.Drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchAbortAnswers503 aborts the server while batched lanes are in
+// flight: every stranded request must answer with a retriable shutdown
+// error, and the workers must exit.
+func TestBatchAbortAnswers503(t *testing.T) {
+	testleak.Check(t)
+	net := testNet(t)
+	s := New(Config{BatchStreams: 4, BatchWindow: 20 * time.Millisecond})
+	if err := s.AddApp("test", net, "test/v1"); err != nil {
+		t.Fatal(err)
+	}
+	a := s.lookupApp("test")
+	input := testInput(1 << 22)
+
+	const n = 3
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, _, err := s.batchMatch(context.Background(), a, input)
+			errs <- err
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	s.Abort()
+	for i := 0; i < n; i++ {
+		// nil is possible only if a lane finished before the abort landed.
+		if err := <-errs; err != nil && !errors.Is(err, errServerStopped) {
+			t.Fatalf("aborted lane err = %v, want errServerStopped", err)
+		}
+	}
+}
+
+// TestBatchEmptyInput answers an empty body without ticking.
+func TestBatchEmptyInput(t *testing.T) {
+	testleak.Check(t)
+	net := testNet(t)
+	s := New(Config{BatchStreams: 4, BatchWindow: time.Millisecond})
+	if err := s.AddApp("test", net, "test/v1"); err != nil {
+		t.Fatal(err)
+	}
+	reports, num, err := s.batchMatch(context.Background(), s.lookupApp("test"), nil)
+	if err != nil || num != 0 || len(reports) != 0 {
+		t.Fatalf("empty input: reports=%v num=%d err=%v", reports, num, err)
+	}
+	if err := s.Drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,7 +22,7 @@ import (
 // matchResponse is the /v1/match reply.
 type matchResponse struct {
 	App        string     `json:"app"`
-	Mode       string     `json:"mode"` // guarded | probe | baseline
+	Mode       string     `json:"mode"` // guarded | probe | baseline | batch
 	NumReports int64      `json:"numReports"`
 	Reports    [][2]int64 `json:"reports"` // [pos, state]
 }
@@ -35,7 +35,14 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown app", http.StatusNotFound)
 		return
 	}
-	adm := s.admit(tenant, a.img.EngineFootprint()+sessionOverheadBytes)
+	cost := a.img.EngineFootprint() + sessionOverheadBytes
+	if s.batchingEnabled() {
+		// A batched request shares one batch engine with its lane
+		// neighbours; charge it the per-lane slice instead of a whole
+		// solo engine.
+		cost = a.img.BatchLaneFootprint() + sessionOverheadBytes
+	}
+	adm := s.admit(tenant, cost)
 	if !adm.ok {
 		s.shed(w, tenant, adm.status, adm.retryAfter, adm.reason)
 		return
@@ -59,11 +66,27 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	resp := matchResponse{App: a.name}
+	var reports []sim.Report
+	if s.batchingEnabled() {
+		// The batch kernel's per-lane streams are bit-identical to solo
+		// runs (property-tested in internal/sim), so batching bypasses
+		// the degradation ladder without changing any answer.
+		resp.Mode = "batch"
+		var berr error
+		reports, resp.NumReports, berr = s.batchMatch(ctx, a, input)
+		if berr != nil {
+			matchError(w, berr)
+			return
+		}
+		s.finishMatch(w, tenant, &resp, reports)
+		return
+	}
+
 	t := s.tenantOf(tenant)
 	mode := t.ladder.Next()
-	resp := matchResponse{App: a.name, Mode: mode.String()}
+	resp.Mode = mode.String()
 
-	var reports []sim.Report
 	switch mode {
 	case spap.ModeGuarded, spap.ModeProbe:
 		part, perr := a.partition(s.cfg.Capacity)
@@ -101,18 +124,29 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		reports, resp.NumReports = sres.Reports, sres.NumReports
 	}
 
+	s.finishMatch(w, tenant, &resp, reports)
+}
+
+// finishMatch encodes the reply and counts the served match.
+func (s *Server) finishMatch(w http.ResponseWriter, tenant string, resp *matchResponse, reports []sim.Report) {
 	resp.Reports = make([][2]int64, len(reports))
 	for i, rep := range reports {
 		resp.Reports[i] = [2]int64{rep.Pos, int64(rep.State)}
 	}
 	s.reg.Tenant("serve_matches", tenant).Inc()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(&resp)
+	json.NewEncoder(w).Encode(resp)
 }
 
 // matchError maps executor errors to HTTP: deadline and cancellation are
-// the caller's timeout (504), anything else is a server fault.
+// the caller's timeout (504), shutdown is retriable on the next process
+// (503), anything else is a server fault.
 func matchError(w http.ResponseWriter, err error) {
+	if status, ok := batchStatus(err); ok {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), status)
+		return
+	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		http.Error(w, err.Error(), http.StatusGatewayTimeout)
 		return

@@ -92,6 +92,16 @@ type Config struct {
 	// Ladder configures per-tenant guard escalation.
 	Ladder spap.LadderConfig
 
+	// BatchStreams enables batched one-shot matching when > 1: concurrent
+	// /v1/match requests for the same application coalesce into one
+	// multi-stream batch-kernel walk of up to this many lanes (capped at
+	// sim.MaxLanes). 0 or 1 keeps the solo per-request path.
+	BatchStreams int
+	// BatchWindow is how long a lone match request waits for company
+	// before its batch starts ticking (default 500µs; only meaningful
+	// with BatchStreams > 1).
+	BatchWindow time.Duration
+
 	// Registry receives the serve-path counters; New creates one when
 	// nil.
 	Registry *metrics.Registry
@@ -121,6 +131,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Capacity <= 0 {
 		c.Capacity = ap.DefaultConfig().Capacity
+	}
+	if c.BatchStreams > sim.MaxLanes {
+		c.BatchStreams = sim.MaxLanes
+	}
+	if c.BatchStreams > 1 && c.BatchWindow <= 0 {
+		c.BatchWindow = defaultBatchWindow
 	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
@@ -172,6 +188,11 @@ type Server struct {
 	killCh chan struct{} // closed by Abort: simulated crash for chaos tests
 	idle   sync.Cond     // broadcast when nSess drops (Drain waits on it)
 
+	batchers     map[string]*batcher // per-app match batchers (see batch.go)
+	batchStop    chan struct{}       // closed by stopBatchers
+	batchStopped bool
+	batchWG      sync.WaitGroup
+
 	hsMu sync.Mutex
 	hs   *http.Server
 }
@@ -190,6 +211,9 @@ func New(cfg Config) *Server {
 		tenants: map[string]*tenant{},
 		active:  map[string]*session{},
 		killCh:  make(chan struct{}),
+
+		batchers:  map[string]*batcher{},
+		batchStop: make(chan struct{}),
 	}
 	s.idle.L = &s.mu
 	return s
@@ -284,6 +308,9 @@ func (s *Server) Drain(timeout time.Duration) error {
 	if hs != nil {
 		hs.Close()
 	}
+	// Sessions have unwound (or timed out), so no match request can be in
+	// a batch lane; stop the batcher workers before returning.
+	s.stopBatchers()
 	if stranded > 0 {
 		return fmt.Errorf("serve: drain timed out with %d sessions still live", stranded)
 	}
@@ -308,6 +335,9 @@ func (s *Server) Abort() {
 	if hs != nil {
 		hs.Close()
 	}
+	// Batcher workers see the kill at their next check tick, retire every
+	// in-flight lane with a 503, and exit.
+	s.stopBatchers()
 }
 
 // killed reports whether Abort has fired.

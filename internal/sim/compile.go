@@ -90,8 +90,10 @@ type Image struct {
 	// switches from the sparse walk to the dense pass.
 	denseCut int
 
-	// pool recycles engines built over this image.
-	pool sync.Pool
+	// pool recycles solo engines built over this image; batchPool
+	// recycles multi-stream batch engines (batch.go).
+	pool      sync.Pool
+	batchPool sync.Pool
 }
 
 // Compile flattens net into an execution image. The image references the
@@ -228,6 +230,27 @@ func (img *Image) Footprint() int64 {
 // shared image.
 func (img *Image) EngineFootprint() int64 {
 	return 2*int64(img.words)*8 + 2*int64(img.n)*4
+}
+
+// BatchEngineFootprint estimates the per-batch-engine dynamic bytes: the
+// three lane-transposed n-word arrays (current/next frontier lane masks
+// and the per-cycle activation accumulator), the two union bitmaps, and,
+// in the worst case, full frontier/activation lists plus the per-lane
+// bookkeeping. One batch engine serves up to MaxLanes concurrent streams,
+// so per admitted stream the charge is BatchLaneFootprint.
+func (img *Image) BatchEngineFootprint() int64 {
+	b := 3 * int64(img.n) * 8     // curLane + nxtLane + actLane
+	b += 2 * int64(img.words) * 8 // union bitmaps
+	b += 4 * int64(img.n) * 4     // frontier, next, actList, repBuf
+	b += 64 * 64                  // lane bookkeeping
+	return b
+}
+
+// BatchLaneFootprint is the per-stream share of a fully loaded batch
+// engine — what the admission controller charges a batched session
+// instead of EngineFootprint.
+func (img *Image) BatchLaneFootprint() int64 {
+	return (img.BatchEngineFootprint() + 63) / 64
 }
 
 // ImageOf returns net's cached execution image, compiling and caching it

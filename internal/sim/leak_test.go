@@ -65,6 +65,63 @@ func TestParallelRunContextMidRunCancelNoLeak(t *testing.T) {
 	<-done
 }
 
+// TestBatchAcquireReleaseSteadyStateNoAlloc drives the batch-engine pool
+// through full acquire → join → run → release cycles: after one warm-up
+// cycle the pool must serve every later cycle from retained scratch, so
+// the steady state allocates nothing per batch.
+func TestBatchAcquireReleaseSteadyStateNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; zero-alloc does not hold")
+	}
+	net := leakNet(t)
+	img := ImageOf(net)
+	inputs := make([][]byte, MaxLanes)
+	for l := range inputs {
+		inputs[l] = leakInput(256 + 16*l)
+	}
+	cycle := func() {
+		be := img.AcquireBatch(BatchOptions{})
+		for _, in := range inputs {
+			be.Join(in)
+		}
+		for be.Running() > 0 {
+			be.Tick()
+		}
+		be.Release()
+	}
+	cycle() // warm-up: first acquisition sizes the scratch
+	if allocs := testing.AllocsPerRun(50, cycle); allocs > 0 {
+		t.Fatalf("steady-state acquire/run/release allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestBatchPoolIsolatedFromSoloPool checks the two engine pools of one
+// image never hand each other's scratch back: interleaved acquire and
+// release of solo and batch engines must keep both kinds usable.
+func TestBatchPoolIsolatedFromSoloPool(t *testing.T) {
+	net := leakNet(t)
+	img := ImageOf(net)
+	input := leakInput(4096)
+	want := Run(net, input, Options{CollectReports: true}).Reports
+	for trial := 0; trial < 4; trial++ {
+		be := img.AcquireBatch(BatchOptions{CollectReports: true})
+		eng := img.Acquire(Options{CollectReports: true})
+		lane, _ := be.Join(input)
+		for be.Running() > 0 {
+			be.Tick()
+		}
+		for i, c := range input {
+			eng.Step(int64(i), c)
+		}
+		if len(be.LaneReports(lane)) != len(want) || len(eng.Reports()) != len(want) {
+			t.Fatalf("trial %d: batch %d / solo %d reports, want %d",
+				trial, len(be.LaneReports(lane)), len(eng.Reports()), len(want))
+		}
+		eng.Release()
+		be.Release()
+	}
+}
+
 // TestStreamerCancelNoLeak drives a Streamer under an already-expired
 // context: Write must return promptly with the context error, consuming
 // no further symbols and leaving nothing running.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package sim
+
+const raceEnabled = false

@@ -1,0 +1,142 @@
+// Batched hot-path execution: one BaseAP-mode image walk shared by up to
+// 64 independent input streams.
+//
+// BaseAP mode dominates a partitioned run's cycle budget (every hot batch
+// streams the whole input), and it is exactly the shape the multi-stream
+// kernel amortizes: RunBaseAPSpAPBatch drives the hot network once for a
+// whole wave of inputs through sim.BatchEngine, collecting per-lane final
+// and intermediate reports, then runs each stream's SpAP cold mode
+// individually (cold mode is report-driven with jump operations at
+// per-stream positions, so lockstep buys it nothing). Per-input Results
+// are identical to solo RunBaseAPSpAP on the same input.
+//
+// The batched entry point is unguarded and fault-free: watchdog budgets
+// and injected fault plans are positional per single run, so an active
+// injector routes each input through the solo executor instead.
+package spap
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"sparseap/internal/ap"
+	"sparseap/internal/automata"
+	"sparseap/internal/hotcold"
+	"sparseap/internal/sim"
+)
+
+// RunBaseAPSpAPBatch executes every input against the partition under the
+// BaseAP/SpAP system, sharing one hot-network image walk across up to
+// sim.MaxLanes concurrent streams, and returns per-input results in input
+// order. Streams beyond the lane capacity are scheduled onto lanes as
+// earlier streams retire.
+func RunBaseAPSpAPBatch(p *hotcold.Partition, inputs [][]byte, cfg ap.Config, opts Options) ([]*Result, error) {
+	return RunBaseAPSpAPBatchContext(context.Background(), p, inputs, cfg, opts)
+}
+
+// RunBaseAPSpAPBatchContext is RunBaseAPSpAPBatch with cancellation. On
+// cancellation the partial per-input results accumulated so far are
+// returned together with ctx.Err(); inputs whose cold mode never ran
+// carry only their BaseAP-mode accounting.
+func RunBaseAPSpAPBatchContext(ctx context.Context, p *hotcold.Partition, inputs [][]byte, cfg ap.Config, opts Options) ([]*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Faults.Active() {
+		// Fault plans are positional per single run: keep the injected
+		// semantics exact by running each input solo.
+		results := make([]*Result, len(inputs))
+		for i, in := range inputs {
+			res, err := RunBaseAPSpAPContext(ctx, p, in, cfg, opts)
+			results[i] = res
+			if err != nil {
+				return results, err
+			}
+		}
+		return results, nil
+	}
+
+	hotBatches, err := ap.PartitionNFAs(p.Hot, cfg.Capacity)
+	if err != nil {
+		return nil, fmt.Errorf("spap: hot network: %w", err)
+	}
+	results := make([]*Result, len(inputs))
+	inter := make([][]IntermediateReport, len(inputs))
+	for i := range results {
+		results[i] = &Result{
+			BaseAPBatches: len(hotBatches),
+			JumpRatio:     math.NaN(),
+		}
+	}
+
+	be := sim.ImageOf(p.Hot).AcquireBatch(sim.BatchOptions{})
+	defer be.Release()
+	var laneIdx [sim.MaxLanes]int
+	be.OnReport = func(lane int, pos int64, s automata.StateID) {
+		idx := laneIdx[lane]
+		res := results[idx]
+		if orig := p.HotOrig[s]; orig != automata.None {
+			res.NumReports++
+			if opts.CollectReports {
+				res.Reports = append(res.Reports, sim.Report{Pos: pos, State: orig})
+			}
+			return
+		}
+		inter[idx] = append(inter[idx], IntermediateReport{Pos: pos, Target: p.Intermediate[s]})
+	}
+
+	nextInput := 0
+	cancelledAt := func() error {
+		// Record the partial BaseAP accounting of every unfinished lane.
+		for m := be.RunningMask(); m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			results[laneIdx[lane]].BaseAPCycles = int64(len(hotBatches)) * be.LanePos(lane)
+		}
+		return ctx.Err()
+	}
+	for nextInput < len(inputs) || be.Running() > 0 {
+		for nextInput < len(inputs) {
+			lane, ok := be.Join(inputs[nextInput])
+			if !ok {
+				break
+			}
+			laneIdx[lane] = nextInput
+			nextInput++
+			if be.Done(lane) { // empty input
+				be.Free(lane)
+			}
+		}
+		if be.Running() == 0 {
+			continue
+		}
+		if be.Ticks()&(cancelCheckInterval-1) == 0 && cancelled(ctx) {
+			return results, cancelledAt()
+		}
+		for m := be.Tick(); m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			results[laneIdx[lane]].BaseAPCycles = int64(len(hotBatches)) * be.LanePos(lane)
+			be.Free(lane)
+		}
+	}
+
+	for i := range results {
+		if cancelled(ctx) {
+			return results, ctx.Err()
+		}
+		res := results[i]
+		res.IntermediateReports = int64(len(inter[i]))
+		// The batch engine emits reports in cycle order (ascending state
+		// within a cycle), like the solo engine; sort defensively by
+		// position for the queue model, mirroring runBaseAPMode.
+		sort.SliceStable(inter[i], func(a, b int) bool { return inter[i][a].Pos < inter[i][b].Pos })
+		if err := runSpAPMode(ctx, p, inputs[i], cfg, opts, res, inter[i]); err != nil {
+			finalize(res, cfg)
+			return results, err
+		}
+		finalize(res, cfg)
+	}
+	return results, nil
+}

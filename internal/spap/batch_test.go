@@ -1,0 +1,97 @@
+package spap
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sparseap/internal/regexc"
+)
+
+// batchTestInputs builds ragged inputs over the chain alphabet, several
+// containing full matches so both hot and cold modes do real work.
+func batchTestInputs(r *rand.Rand, n int) [][]byte {
+	pieces := []string{"ab", "abcde", "xx", " ", "abcd", "e"}
+	out := make([][]byte, n)
+	for i := range out {
+		var in []byte
+		for k := 0; k <= r.Intn(12); k++ {
+			in = append(in, pieces[r.Intn(len(pieces))]...)
+		}
+		out[i] = in // may be empty
+	}
+	return out
+}
+
+// The batched hot path must be result-identical to solo RunBaseAPSpAP on
+// every input: reports, counts, cycle accounting, jump ratios.
+func TestBatchResultIdenticalToSolo(t *testing.T) {
+	net, err := regexc.CompileAll([]string{"abcde", "ax"}, regexc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := []byte("ab abcde xx abcde ax")
+	p := buildPartition(t, net, full[:2])
+	if p.Cold.Len() == 0 {
+		t.Fatal("test needs a nonempty cold set")
+	}
+	cfg := cfgWithCapacity(100)
+	r := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 3, 70} { // solo wave, small wave, > MaxLanes
+		inputs := batchTestInputs(r, n)
+		got, err := RunBaseAPSpAPBatch(p, inputs, cfg, Options{CollectReports: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(inputs) {
+			t.Fatalf("%d results for %d inputs", len(got), len(inputs))
+		}
+		for i, in := range inputs {
+			want, err := RunBaseAPSpAP(p, in, cfg, Options{CollectReports: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := got[i]
+			if !reportsEqual(g.Reports, want.Reports) {
+				t.Fatalf("wave %d input %d: reports differ:\nbatch %v\nsolo  %v",
+					n, i, g.Reports, want.Reports)
+			}
+			gs := fmt.Sprintf("%d/%d/%d/%d/%d/%d", g.NumReports, g.IntermediateReports,
+				g.BaseAPCycles, g.SpAPCycles, g.EnableStalls, g.SpAPExecutions)
+			ws := fmt.Sprintf("%d/%d/%d/%d/%d/%d", want.NumReports, want.IntermediateReports,
+				want.BaseAPCycles, want.SpAPCycles, want.EnableStalls, want.SpAPExecutions)
+			if gs != ws {
+				t.Fatalf("wave %d input %d: accounting differs: batch %s, solo %s", n, i, gs, ws)
+			}
+			if g.TotalCycles != want.TotalCycles || g.TimeNS != want.TimeNS {
+				t.Fatalf("wave %d input %d: totals differ: batch %d/%.1f, solo %d/%.1f",
+					n, i, g.TotalCycles, g.TimeNS, want.TotalCycles, want.TimeNS)
+			}
+		}
+	}
+}
+
+// Cancellation returns the partial per-input results, never nil ones.
+func TestBatchCancelReturnsPartials(t *testing.T) {
+	net, err := regexc.CompileAll([]string{"abcde"}, regexc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildPartition(t, net, []byte("ab"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	inputs := batchTestInputs(rand.New(rand.NewSource(3)), 5)
+	got, err := RunBaseAPSpAPBatchContext(ctx, p, inputs, cfgWithCapacity(100), Options{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(got) != len(inputs) {
+		t.Fatalf("%d results for %d inputs", len(got), len(inputs))
+	}
+	for i, res := range got {
+		if res == nil {
+			t.Fatalf("result %d is nil", i)
+		}
+	}
+}

@@ -10,8 +10,10 @@
 # fault-injection smoke sweep, a chaos-soak smoke cell (kill/resume with
 # stream comparison), a serve-soak smoke cell (real SIGKILL of a live
 # apserve with resumed streams), throughput and prediction smoke cells of apbench,
-# the apopt certificate-checked rewrite of the suite, and the aplint sweep
-# of the generated workload suite.
+# a batch-kernel smoke cell (64-stream solo-vs-batch with the per-lane
+# equivalence and aligned-speedup gates), the apopt certificate-checked
+# rewrite of the suite, and the aplint sweep of the generated workload
+# suite.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -121,6 +123,16 @@ bench_out=$(mktemp)
 go run ./cmd/apbench -json -apps HM -divisor 64 -input 8192 -benchtime 20ms \
     -out "$bench_out" -check
 rm -f "$bench_out"
+
+# Batch-mode smoke: 64 lockstep streams against two apps with the gates
+# on — per-lane batch reports bit-identical to solo runs, and the
+# aligned-content cell holding the amortization fence — the same check
+# CI's bench-batch job runs.
+echo "== apbench batch smoke (PEN + Snort, 64 streams) =="
+batch_out=$(mktemp)
+go run ./cmd/apbench -streams 64 -apps PEN,Snort -divisor 64 -input 8192 \
+    -benchtime 20ms -out "$batch_out" -check -tolerance 0.20
+rm -f "$batch_out"
 
 # Prediction-mode smoke: the static-vs-profiled study on a small app set,
 # with the gate on (static geomean >= normalized-depth, identical report
