@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"sparseap/internal/sim"
+	"sparseap/internal/workloads"
+	"sparseap/internal/worstcase"
+)
+
+// Adversarial mode (-adversarial): per-application certified worst-case
+// study, written as BENCH_adversarial.json so the repository carries the
+// static bounds, the synthesized adversarial witnesses, and the kernels'
+// behaviour under attack as a measured trajectory.
+//
+// For every app the mode runs the full worst-case analysis, certifies it
+// with the witness portfolio (seeded with the app's canonical input, so
+// the witness is never weaker than it), and benchmarks each step kernel
+// on both the canonical and the adversarial input. With -check it exits
+// nonzero when any of the gates fail:
+//
+//   - soundness: a witness replay must never exceed the static bound;
+//   - dominance: the witness peak must be at least the canonical input's
+//     peak (the portfolio includes the canonical input as a seed);
+//   - precision: the geomean bound/witness gap must stay within
+//     advGapCeiling — a property of the whole suite's gap distribution,
+//     so it is only enforced when -apps all is selected (a two-app CI
+//     subset would fence on its own, unrepresentative geomean);
+//   - resilience: on the adversarial input the adaptive kernel must stay
+//     within -tolerance of the dense pass — the wide frontier is exactly
+//     the regime the dense escape hatch exists for.
+
+// advGapCeiling is the -check precision gate: the geomean of
+// FrontierBound / witness peak across the selected apps. The committed
+// BENCH_adversarial.json sits near 3.8 at the default 1/8 scale.
+const advGapCeiling = 4.0
+
+// advKernel is one (app, kernel) pair measured on both inputs.
+type advKernel struct {
+	CanonNsPerSymbol float64 `json:"canon_ns_per_symbol"`
+	AdvNsPerSymbol   float64 `json:"adv_ns_per_symbol"`
+	// Slowdown is adversarial over canonical ns/symbol: how much this
+	// kernel degrades under attack (dense should sit near 1.0).
+	Slowdown float64 `json:"slowdown"`
+}
+
+// advApp aggregates one application's bounds, witness and measurements.
+type advApp struct {
+	App           string               `json:"app"`
+	Name          string               `json:"name"`
+	States        int                  `json:"states"`
+	FrontierBound int                  `json:"frontier_bound"`
+	Bound1        int                  `json:"bound_layer1"`
+	BoundPair     int                  `json:"bound_layer2"`
+	BoundGram     int                  `json:"bound_layer3"`
+	ReportBound   int                  `json:"report_bound"`
+	WitnessPeak   int                  `json:"witness_peak"`
+	WitnessLen    int                  `json:"witness_len"`
+	CanonPeak     int                  `json:"canon_peak"`
+	Gap           float64              `json:"gap"`
+	Sound         bool                 `json:"sound"`
+	Kernels       map[string]advKernel `json:"kernels"`
+}
+
+// advFile is the BENCH_adversarial.json schema.
+type advFile struct {
+	Config struct {
+		Divisor   int    `json:"divisor"`
+		InputLen  int    `json:"input_len"`
+		Seed      int64  `json:"seed"`
+		Benchtime string `json:"benchtime"`
+		Go        string `json:"go"`
+	} `json:"config"`
+	GapGeomean float64  `json:"gap_geomean"`
+	Apps       []advApp `json:"apps"`
+}
+
+// runAdversarial executes the -adversarial mode and returns an error on
+// failure (including any -check gate).
+func runAdversarial(cfg workloads.Config, appsFlag, outPath, benchtime string, check bool, tolerance float64) error {
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return fmt.Errorf("bad -benchtime: %w", err)
+	}
+	names := workloads.Names()
+	if appsFlag != "all" {
+		names = nil
+		for _, n := range strings.Split(appsFlag, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+	var out advFile
+	out.Config.Divisor = cfg.Divisor
+	out.Config.InputLen = cfg.InputLen
+	out.Config.Seed = cfg.Seed
+	out.Config.Benchtime = benchtime
+	out.Config.Go = runtime.Version()
+	var failures []string
+	logGap := 0.0
+	for _, name := range names {
+		app, err := workloads.Build(name, cfg)
+		if err != nil {
+			return err
+		}
+		a := worstcase.Analyze(app.Net, worstcase.Config{})
+		w, rep := a.Certify(worstcase.WitnessOptions{
+			MaxLen: len(app.Input),
+			Seeds:  [][]byte{app.Input},
+		})
+		canon := a.Validate(app.Input)
+		row := advApp{
+			App:           app.Abbr,
+			Name:          app.Name,
+			States:        app.Net.Len(),
+			FrontierBound: a.FrontierBound,
+			Bound1:        a.Bound1,
+			BoundPair:     a.BoundPair,
+			BoundGram:     a.BoundGram,
+			ReportBound:   a.ReportBound,
+			WitnessPeak:   rep.PeakFrontier,
+			WitnessLen:    len(w.Input),
+			CanonPeak:     canon.PeakFrontier,
+			Gap:           rep.Gap,
+			Sound:         rep.Sound && canon.Sound,
+			Kernels:       make(map[string]advKernel, len(benchKernels)),
+		}
+		logGap += math.Log(math.Max(rep.Gap, 1)) // a degenerate 0-bound app contributes neutrally
+		for _, k := range benchKernels {
+			cs := measureInput(app, k, app.Input)
+			as := measureInput(app, k, w.Input)
+			row.Kernels[k.String()] = advKernel{
+				CanonNsPerSymbol: cs,
+				AdvNsPerSymbol:   as,
+				Slowdown:         as / cs,
+			}
+		}
+		verdict := ""
+		if !row.Sound {
+			verdict = "  UNSOUND"
+			failures = append(failures, fmt.Sprintf(
+				"%s: replay peak %d exceeds static bound %d", app.Abbr, rep.PeakFrontier, a.FrontierBound))
+		}
+		if rep.PeakFrontier < canon.PeakFrontier {
+			verdict += "  WEAK-WITNESS"
+			failures = append(failures, fmt.Sprintf(
+				"%s: witness peak %d below canonical input's %d", app.Abbr, rep.PeakFrontier, canon.PeakFrontier))
+		}
+		auto := row.Kernels[sim.KernelAuto.String()]
+		dense := row.Kernels[sim.KernelDense.String()]
+		if check && auto.AdvNsPerSymbol > dense.AdvNsPerSymbol*(1+tolerance) {
+			verdict += "  REGRESSION"
+			failures = append(failures, fmt.Sprintf(
+				"%s: adversarial auto %.2f ns/sym vs dense %.2f ns/sym (tolerance %.0f%%)",
+				app.Abbr, auto.AdvNsPerSymbol, dense.AdvNsPerSymbol, 100*tolerance))
+		}
+		fmt.Printf("%-6s bound %6d  witness %6d (gap %6.2f)  canon %6d  adv auto %8.2f ns/sym (dense %8.2f)%s\n",
+			app.Abbr, a.FrontierBound, rep.PeakFrontier, rep.Gap, canon.PeakFrontier,
+			auto.AdvNsPerSymbol, dense.AdvNsPerSymbol, verdict)
+		out.Apps = append(out.Apps, row)
+	}
+	if len(out.Apps) > 0 {
+		out.GapGeomean = math.Exp(logGap / float64(len(out.Apps)))
+	}
+	if check && appsFlag == "all" && out.GapGeomean > advGapCeiling {
+		failures = append(failures, fmt.Sprintf(
+			"gap geomean %.3f exceeds ceiling %.1f", out.GapGeomean, advGapCeiling))
+	}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d apps, gap geomean %.3f)\n", outPath, len(out.Apps), out.GapGeomean)
+	if len(failures) > 0 {
+		return fmt.Errorf("adversarial gates failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// measureInput benchmarks one (app, kernel) cell on an arbitrary input
+// in steady state and returns ns/symbol.
+func measureInput(app *workloads.App, k sim.Kernel, input []byte) float64 {
+	eng := sim.AcquireEngine(app.Net, sim.Options{Kernel: k})
+	defer eng.Release()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(len(input)))
+		for n := 0; n < b.N; n++ {
+			eng.Reset()
+			for i, c := range input {
+				eng.Step(int64(i), c)
+			}
+		}
+	})
+	return float64(r.T.Nanoseconds()) / float64(r.N) / float64(len(input))
+}

@@ -34,6 +34,19 @@
 // run before timing. With -check it exits nonzero if the aligned cell's
 // speedup falls below 2x minus -tolerance — the CI bench-batch gate.
 //
+// Adversarial mode:
+//
+//	apbench -adversarial [-apps all|PEN,Snort,...] [-benchtime 1s] [-out BENCH_adversarial.json] \
+//	        [-check] [-tolerance 0.20] [-divisor 8] [-input 131072] [-seed 1]
+//
+// runs the certified worst-case analysis per application, synthesizes an
+// adversarial witness (seeded with the canonical input), and benchmarks
+// every step kernel on both the canonical and the adversarial input.
+// With -check it exits nonzero on a soundness violation, a witness
+// weaker than the canonical input, a bound/witness gap geomean above 4x,
+// or the adaptive kernel falling more than -tolerance behind the dense
+// pass on the adversarial input — the CI bench-adversarial gate.
+//
 // Prediction mode:
 //
 //	apbench -predict [-apps all|PEN,Snort,...] [-out BENCH_predict.json] [-check] \
@@ -103,6 +116,7 @@ func main() {
 
 		predictFlag = flag.Bool("predict", false, "prediction mode: static vs profiled partitioning study, write JSON")
 		streamsF    = flag.Int("streams", 0, "batch mode: solo-vs-batch throughput over N concurrent streams, write JSON")
+		advFlag     = flag.Bool("adversarial", false, "adversarial mode: certified worst-case bounds, witness synthesis and kernel throughput under attack, write JSON")
 	)
 	testing.Init() // registers test.benchtime before Parse; throughput mode sets it
 	flag.Parse()
@@ -115,6 +129,17 @@ func main() {
 		}
 		if err := runStreams(wl, *appsFlag, out, *benchtime, *streamsF, *checkFlag, *tolerance); err != nil {
 			fmt.Fprintf(os.Stderr, "apbench -streams: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *advFlag {
+		out := *outFlag
+		if out == "BENCH_sim.json" { // the throughput-mode default; not meaningful here
+			out = "BENCH_adversarial.json"
+		}
+		if err := runAdversarial(wl, *appsFlag, out, *benchtime, *checkFlag, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "apbench -adversarial: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -52,6 +52,7 @@ func main() {
 		strict    = flag.Bool("strict", false, "fail (exit 1) when the linter reports findings instead of warning")
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline per execution (0 = none); partial stats are printed on expiry")
 		guard     = flag.Bool("guard", false, "run BaseAP/SpAP under the adaptive guard (watchdog + widened-k retry + baseline fallback)")
+		preflight = flag.Bool("preflight", false, "with -guard: statically certify or pre-size the partition from the worst-case report bound before the first attempt (safe/sized/hopeless ladder)")
 		faultSpec = flag.String("fault", "", "inject faults: comma-separated kind=rate of stuckoff|stuckon|flip|drop|loadfail|crash")
 		faultSeed = flag.Int64("faultseed", 1, "fault-injection seed (with -fault)")
 		repair    = flag.Bool("repair", false, "repair injected stuck faults via spare-STE remapping and verify report equivalence")
@@ -159,7 +160,7 @@ func main() {
 		}
 		store = s
 		fp := runFingerprint(*appName, *anmlPath, *inPath, *divisor, *inputLen, *seed,
-			*capacity, *system, *guard, *opt, *faultSpec, *faultSeed)
+			*capacity, *system, *guard, *preflight, *opt, *faultSpec, *faultSeed)
 		var m *sparseap.CheckpointManifest
 		if *ckResume {
 			m, err = store.ResumeManifest(fp, int64(len(input)))
@@ -285,13 +286,15 @@ func main() {
 	if *system == "spap" || *system == "all" {
 		ctx, cancel := runCtx()
 		var res *sparseap.ExecResult
+		g := sparseap.DefaultGuard()
+		g.Preflight = *preflight
 		switch {
 		case useCk && *guard:
-			res, err = eng.RunGuardedCheckpointed(ctx, part, input, sparseap.DefaultGuard(), mkRunner("spap"))
+			res, err = eng.RunGuardedCheckpointed(ctx, part, input, g, mkRunner("spap"))
 		case useCk:
 			res, err = eng.RunBaseAPSpAPCheckpointed(ctx, part, input, mkRunner("spap"))
 		case *guard:
-			res, err = eng.RunGuarded(ctx, part, input, sparseap.DefaultGuard())
+			res, err = eng.RunGuarded(ctx, part, input, g)
 		default:
 			res, err = eng.RunBaseAPSpAPContext(ctx, part, input)
 		}
@@ -310,6 +313,11 @@ func main() {
 			fmt.Printf("guard:         %d attempts, %d trips, widened=%v, baseline-fallback=%v, %d batch fallbacks, %d wasted + %d fallback cycles\n",
 				g.Attempts, g.Trips, g.Widened, g.FallbackBaseline, g.BatchFallbacks,
 				g.WastedCycles, g.FallbackCycles)
+		}
+		if gs := res.Guard; gs != nil && gs.Preflight != nil {
+			pf := gs.Preflight
+			fmt.Printf("preflight:     intermediate bound %.3f/cycle, safe=%v, sized=%v, hopeless=%v (witness peak %d, density %.3f/cycle)\n",
+				pf.Density, pf.Safe, pf.K != nil, pf.Hopeless, pf.WitnessPeak, pf.WitnessDensity)
 		}
 		if res.Fault.Any() {
 			fmt.Printf("faults hit:    %s\n", res.Fault)
@@ -337,14 +345,22 @@ func main() {
 
 // runFingerprint renders the invocation parameters that determine a run's
 // checkpointed state, for the manifest's identity check.
-func runFingerprint(app, anml, in string, divisor, inputLen int, seed int64, capacity int, system string, guard, opt bool, faultSpec string, faultSeed int64) string {
+func runFingerprint(app, anml, in string, divisor, inputLen int, seed int64, capacity int, system string, guard, preflight, opt bool, faultSpec string, faultSeed int64) string {
 	var src string
 	if app != "" {
 		src = workloads.Config{Divisor: divisor, InputLen: inputLen, Seed: seed, Optimize: opt}.Fingerprint(app)
 	} else {
 		src = fmt.Sprintf("anml:%s:in:%s:opt%t", anml, in, opt)
 	}
-	return fmt.Sprintf("%s/cap%d/sys%s/guard%t/fault:%s:s%d", src, capacity, system, guard, faultSpec, faultSeed)
+	fp := fmt.Sprintf("%s/cap%d/sys%s/guard%t/fault:%s:s%d", src, capacity, system, guard, faultSpec, faultSeed)
+	if preflight {
+		// Appended only when set so fingerprints of plain guarded runs
+		// keep their historical form: a preflighted run may execute a
+		// pre-widened partition, so its checkpoints are not resumable
+		// into a non-preflighted run (or vice versa).
+		fp += "/preflight"
+	}
+	return fp
 }
 
 // writeReportFile writes the report stream as one "pos state" line per

@@ -21,6 +21,7 @@ import (
 	"sparseap/internal/metrics"
 	"sparseap/internal/sim"
 	"sparseap/internal/workloads"
+	"sparseap/internal/worstcase"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "generation seed")
 		opt      = flag.Bool("opt", false, "also show states/edges after the proof-carrying rewriter (apopt)")
 		hot      = flag.Bool("hotness", false, "also show the static hotness analysis (predicted hot fraction, per-NFA cut layers; with -app, accuracy vs the actual hot set)")
+		worst    = flag.Bool("worstcase", false, "also show the certified worst-case analysis (frontier/report bounds by layer, adversarial witness, bound/witness gap); with -all, the whole-suite table. Exits nonzero on a soundness violation")
 	)
 	flag.Parse()
 	wl := workloads.Config{Divisor: *divisor, InputLen: *inputLen, Seed: *seed}
@@ -42,6 +44,10 @@ func main() {
 	case *list:
 		for _, n := range workloads.Names() {
 			fmt.Println(n)
+		}
+	case *all && *worst:
+		if err := printWorstTable(wl); err != nil {
+			fail(err)
 		}
 	case *all && *opt:
 		if err := printOptTable(wl); err != nil {
@@ -63,6 +69,11 @@ func main() {
 		if *hot {
 			printHotness(app.Net, app.Input)
 		}
+		if *worst {
+			if !printWorstCase(app.Net, app.Input) {
+				fail(fmt.Errorf("apstat: worst-case analysis unsound for %s", app.Name))
+			}
+		}
 	case *anmlPath != "":
 		f, err := os.Open(*anmlPath)
 		if err != nil {
@@ -76,6 +87,11 @@ func main() {
 		printStats(*anmlPath, net, *opt)
 		if *hot {
 			printHotness(net, nil)
+		}
+		if *worst {
+			if !printWorstCase(net, nil) {
+				fail(fmt.Errorf("apstat: worst-case analysis unsound for %s", *anmlPath))
+			}
 		}
 	default:
 		flag.Usage()
@@ -195,6 +211,66 @@ func printHotness(net *sparseap.Network, input []byte) {
 		t.AddRowf("false alarms (cost: capacity)", alarms)
 	}
 	fmt.Print(t)
+}
+
+// printWorstCase renders the certified worst-case analysis of one
+// network: the frontier bound with each refinement layer's contribution,
+// the report bound, and the adversarial witness certification. A non-nil
+// input seeds the witness portfolio (so the witness is never worse than
+// the canonical input) and its length caps the search. Returns false on
+// a soundness violation — the witness replay out-running the bound.
+func printWorstCase(net *sparseap.Network, input []byte) bool {
+	a := worstcase.Analyze(net, worstcase.Config{})
+	opts := worstcase.WitnessOptions{}
+	if input != nil {
+		opts.MaxLen = len(input)
+		opts.Seeds = [][]byte{input}
+	}
+	w, rep := a.Certify(opts)
+	t := metrics.NewTable("Worst case", "Value")
+	t.AddRowf("frontier bound", a.FrontierBound)
+	t.AddRowf("  layer 1 (per-symbol)", a.Bound1)
+	t.AddRowf("  layer 2 (anti-chain)", a.BoundPair)
+	t.AddRowf("  layer 3 (k-gram)", a.BoundGram)
+	t.AddRowf("start-of-data width", a.StartWidth)
+	t.AddRowf("trackable states", a.Trackable)
+	t.AddRowf("frontier fraction", a.FrontierFraction())
+	t.AddRowf("report bound/cycle", a.ReportBound)
+	t.AddRowf("witness peak frontier", rep.PeakFrontier)
+	t.AddRowf("witness length", len(w.Input))
+	t.AddRowf("bound/witness gap", rep.Gap)
+	t.AddRowf("sound (replay ≤ bound)", rep.Sound)
+	fmt.Print(t)
+	return rep.Sound
+}
+
+// printWorstTable renders the whole-suite worst-case table: per-app
+// bounds, witness peaks and gaps. It fails (error return) when any app's
+// replay violates its bound.
+func printWorstTable(wl workloads.Config) error {
+	apps, err := workloads.BuildAll(wl)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("App", "Bound", "L1", "L2", "L3", "Report", "Witness", "Gap", "Sound")
+	unsound := 0
+	for _, app := range apps {
+		a := worstcase.Analyze(app.Net, worstcase.Config{})
+		_, rep := a.Certify(worstcase.WitnessOptions{
+			MaxLen: len(app.Input),
+			Seeds:  [][]byte{app.Input},
+		})
+		if !rep.Sound {
+			unsound++
+		}
+		t.AddRowf(app.Abbr, a.FrontierBound, a.Bound1, a.BoundPair, a.BoundGram,
+			a.ReportBound, rep.PeakFrontier, rep.Gap, rep.Sound)
+	}
+	fmt.Print(t)
+	if unsound > 0 {
+		return fmt.Errorf("apstat: worst-case analysis unsound for %d application(s)", unsound)
+	}
+	return nil
 }
 
 func fail(err error) {

@@ -33,6 +33,7 @@ import (
 	"sparseap/internal/hotness"
 	"sparseap/internal/rewrite"
 	"sparseap/internal/symset"
+	"sparseap/internal/worstcase"
 )
 
 // Severity ranks a diagnostic.
@@ -241,6 +242,10 @@ type Pass struct {
 	opt          *rewrite.Result
 	optErr       error
 	optDone      bool
+	wc           *worstcase.Analysis
+	wcWit        *worstcase.Witness
+	wcRep        *worstcase.Replay
+	wcWitDone    bool
 }
 
 // Problems returns the network's structural problems, computed once.
@@ -332,6 +337,39 @@ func (p *Pass) Hotness() *hotness.Analysis {
 		})
 	}
 	return p.hot
+}
+
+// WorstCase returns the worst-case frontier/report analysis under the
+// configured alphabet, computed once at a lint-sized layer-3 budget (the
+// bound is sound at any budget; a CLI wanting the tightest bound runs
+// worstcase.Analyze itself). Callers must only use it from NeedsSound
+// analyzers.
+func (p *Pass) WorstCase() *worstcase.Analysis {
+	if p.wc == nil {
+		p.wc = worstcase.Analyze(p.Net, worstcase.Config{
+			Alphabet:   p.Opts.Alphabet,
+			Facts:      p.Facts(),
+			GramBudget: lintGramBudget,
+		})
+	}
+	return p.wc
+}
+
+// WorstCaseWitness returns the adversarial witness synthesized against
+// the worst-case bound and its engine replay, computed once at a
+// lint-sized search budget. Callers must only use it from NeedsSound
+// analyzers.
+func (p *Pass) WorstCaseWitness() (*worstcase.Witness, *worstcase.Replay) {
+	if !p.wcWitDone {
+		w, r := p.WorstCase().Certify(worstcase.WitnessOptions{
+			MaxLen:   lintWitnessLen,
+			TopK:     lintWitnessTopK,
+			Patience: lintWitnessPatience,
+		})
+		p.wcWit, p.wcRep = w, r
+		p.wcWitDone = true
+	}
+	return p.wcWit, p.wcRep
 }
 
 // RewriteOptions returns the rewriter configuration matching this run's

@@ -1,0 +1,94 @@
+// Worst-case analyzers AP025–AP026: findings derived from the certified
+// worst-case frontier analysis (internal/worstcase) — the static bound on
+// how wide the sparse frontier can ever get, and the adversarial witness
+// that measures how tight that bound is.
+package lint
+
+import (
+	"fmt"
+)
+
+// Lint-sized worstcase budgets: the analyzers trade bound tightness for
+// speed, since a lint run covers whole suites. The bound stays sound at
+// any budget; only the gap diagnostic gets noisier.
+const (
+	lintGramBudget      = 8 << 20
+	lintWitnessLen      = 256
+	lintWitnessTopK     = 4
+	lintWitnessPatience = 64
+)
+
+// worstFrontierFractionThreshold is the worst-case frontier fraction at
+// or above which AP025 reports: when an adversarial input can enable
+// half of all trackable states at once, sparse frontier tracking cannot
+// be provisioned below dense, and admission control must charge the
+// dense footprint.
+const worstFrontierFractionThreshold = 0.5
+
+// gapRatioThreshold is the certified bound/witness gap at or above which
+// AP026 reports. The lint-budget witness is deliberately weak, so the
+// threshold is generous; gaps past it usually mean mutually-exclusive
+// structure the per-NFA analysis cannot see (cross-NFA exclusivity) or
+// an input language too narrow for the greedy synthesizer.
+const gapRatioThreshold = 8.0
+
+func init() {
+	Register(analyzerWorstFrontier)
+	Register(analyzerWitnessGap)
+}
+
+var analyzerWorstFrontier = &Analyzer{
+	Code:       "AP025",
+	Name:       "worstcase-frontier-fraction",
+	Doc:        "worst-case frontier width as a fraction of trackable states, from the certified static bound; reported when so high that sparse tracking cannot beat dense provisioning",
+	Default:    Info,
+	NeedsSound: true,
+	Run: func(p *Pass, a *Analyzer) []Diagnostic {
+		if p.Net.Len() == 0 {
+			return nil
+		}
+		wc := p.WorstCase()
+		frac := wc.FrontierFraction()
+		if frac < worstFrontierFractionThreshold {
+			return nil
+		}
+		return []Diagnostic{{
+			Code: a.Code, Severity: a.Default, NFA: -1, State: -1,
+			Msg: fmt.Sprintf("worst-case input can enable %d of %d trackable states at once (%.0f%%, threshold %.0f%%): size frontier buffers and admission for the dense case",
+				wc.FrontierBound, wc.Trackable, frac*100, worstFrontierFractionThreshold*100),
+			Fix: "provision with the dense kernel or charge worst-case footprints at admission; tighten the input alphabet if real traffic is narrower",
+		}}
+	},
+}
+
+var analyzerWitnessGap = &Analyzer{
+	Code:       "AP026",
+	Name:       "worstcase-witness-gap",
+	Doc:        "ratio between the static worst-case frontier bound and the widest frontier an adversarial witness input actually reaches in the engine; reported when the bound is far from demonstrably tight",
+	Default:    Info,
+	NeedsSound: true,
+	Run: func(p *Pass, a *Analyzer) []Diagnostic {
+		if p.Net.Len() == 0 || p.WorstCase().FrontierBound == 0 {
+			return nil
+		}
+		_, rep := p.WorstCaseWitness()
+		if !rep.Sound {
+			// The engine out-ran the static bound: an analysis bug, never
+			// an input property. Surface it as loudly as the linter can.
+			return []Diagnostic{{
+				Code: a.Code, Severity: Error, NFA: -1, State: -1,
+				Msg: fmt.Sprintf("witness replay reached frontier %d, above the static bound %d: the worst-case analysis is unsound for this network",
+					rep.PeakFrontier, p.WorstCase().FrontierBound),
+			}}
+		}
+		if rep.PeakFrontier == 0 || rep.Gap < gapRatioThreshold {
+			return nil
+		}
+		return []Diagnostic{{
+			Code: a.Code, Severity: a.Default, NFA: -1, State: -1,
+			Msg: fmt.Sprintf("static frontier bound %d but the best synthesized witness only reaches %d (gap %.1f×, threshold %.1f×): the bound is certified sound but not demonstrably tight",
+				p.WorstCase().FrontierBound, rep.PeakFrontier, rep.Gap, gapRatioThreshold),
+			Fix: "treat the bound as conservative when sizing; a larger witness budget (apstat -worstcase) or cross-NFA exclusivity reasoning may close the gap",
+		}}
+	},
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/symset"
+)
+
+// saturatingNet builds NFAs whose worst case is trivially reachable: an
+// all-input star feeding a chain of all-byte matchers, so one long input
+// keeps every trackable state enabled — frontier fraction 1.0, witness
+// gap exactly 1.0.
+func saturatingNet(nfas, depth int) *automata.Network {
+	ms := make([]*automata.NFA, nfas)
+	for i := range ms {
+		m := automata.NewNFA()
+		star := m.Add(symset.All(), automata.StartAllInput, false)
+		m.Connect(star, star)
+		prev := star
+		for d := 0; d < depth; d++ {
+			s := m.Add(symset.All(), automata.StartNone, d == depth-1)
+			m.Connect(prev, s)
+			prev = s
+		}
+		ms[i] = m
+	}
+	return automata.NewNetwork(ms...)
+}
+
+// exclusiveNet builds a worst case the witness cannot reach and the
+// analysis cannot rule out: each NFA's trigger is a distinct byte, but
+// the trigger sits more than maxGram symbols behind the wide part of the
+// automaton (a long 'z' chain into a fanout), so the k-gram window never
+// sees that at most a few triggers fit in any real history — cross-NFA
+// exclusivity beyond the suffix horizon.
+func exclusiveNet(nfas, depth, fanout int) *automata.Network {
+	ms := make([]*automata.NFA, nfas)
+	for i := range ms {
+		m := automata.NewNFA()
+		head := m.Add(symset.Single(byte(i)), automata.StartAllInput, false)
+		prev := head
+		for d := 0; d < depth; d++ {
+			s := m.Add(symset.Single('z'), automata.StartNone, false)
+			m.Connect(prev, s)
+			prev = s
+		}
+		for f := 0; f < fanout; f++ {
+			s := m.Add(symset.Single('z'), automata.StartNone, true)
+			m.Connect(prev, s)
+		}
+		ms[i] = m
+	}
+	return automata.NewNetwork(ms...)
+}
+
+func TestAP025FiresOnSaturatingNetwork(t *testing.T) {
+	res := Run(saturatingNet(3, 8), Options{Enable: []string{"AP025"}})
+	codes := codesOf(res)
+	if codes["AP025"] != 1 {
+		t.Fatalf("AP025 count = %d, want 1; diags: %v", codes["AP025"], res.Diags)
+	}
+	d := res.Diags[0]
+	if d.Severity != Info || d.NFA != -1 {
+		t.Errorf("AP025 diag = %+v, want network-level Info", d)
+	}
+	if !strings.Contains(d.Msg, "trackable states") {
+		t.Errorf("AP025 msg %q lacks frontier fraction", d.Msg)
+	}
+}
+
+func TestAP025QuietOnSparseNetwork(t *testing.T) {
+	res := Run(sparseNet(30), Options{Enable: []string{"AP025"}})
+	if n := codesOf(res)["AP025"]; n != 0 {
+		t.Fatalf("AP025 fired %d times on a cold-tailed chain: %v", n, res.Diags)
+	}
+}
+
+// TestAP026QuietWhenGapIsOne is the negative case: on a saturating
+// network the witness reaches the bound exactly (gap 1.0), so the gap
+// analyzer must stay silent.
+func TestAP026QuietWhenGapIsOne(t *testing.T) {
+	p := &Pass{Net: saturatingNet(3, 8), Opts: Options{Enable: []string{"AP026"}}}
+	res := run(p, false)
+	if n := codesOf(res)["AP026"]; n != 0 {
+		t.Fatalf("AP026 fired %d times at gap 1.0: %v", n, res.Diags)
+	}
+	_, rep := p.WorstCaseWitness()
+	if !rep.Sound || rep.Gap != 1.0 {
+		t.Fatalf("saturating net: sound=%v gap=%v, want sound gap 1.0", rep.Sound, rep.Gap)
+	}
+}
+
+func TestAP026FiresOnLooseBound(t *testing.T) {
+	net := exclusiveNet(60, 12, 8)
+	p := &Pass{Net: net, Opts: Options{Enable: []string{"AP026"}}}
+	res := run(p, false)
+	codes := codesOf(res)
+	if codes["AP026"] != 1 {
+		_, rep := p.WorstCaseWitness()
+		t.Fatalf("AP026 count = %d, want 1 (bound %d, witness %d, gap %.2f); diags: %v",
+			codes["AP026"], p.WorstCase().FrontierBound, rep.PeakFrontier, rep.Gap, res.Diags)
+	}
+	d := res.Diags[0]
+	if d.Severity != Info || d.NFA != -1 {
+		t.Errorf("AP026 diag = %+v, want network-level Info", d)
+	}
+	if !strings.Contains(d.Msg, "gap") {
+		t.Errorf("AP026 msg %q lacks the gap ratio", d.Msg)
+	}
+}
+
+func TestWorstCaseMemoized(t *testing.T) {
+	p := &Pass{Net: saturatingNet(1, 4)}
+	if p.WorstCase() != p.WorstCase() {
+		t.Error("Pass.WorstCase not memoized")
+	}
+	w1, r1 := p.WorstCaseWitness()
+	w2, r2 := p.WorstCaseWitness()
+	if w1 != w2 || r1 != r2 {
+		t.Error("Pass.WorstCaseWitness not memoized")
+	}
+}

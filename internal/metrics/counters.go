@@ -44,6 +44,7 @@ type Registry struct {
 	plain    map[string]*Counter
 	labelled map[string]map[string]*Counter // name -> tenant -> counter
 	hists    map[string]*Histogram          // see histogram.go
+	gauges   map[string]*Gauge              // see gauge.go
 }
 
 // NewRegistry returns an empty registry.
@@ -108,6 +109,9 @@ func (r *Registry) Snapshot() map[string]int64 {
 		for tenant, c := range m {
 			out[fmt.Sprintf("%s{tenant=%q}", name, tenant)] = c.Value()
 		}
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
 	}
 	return out
 }

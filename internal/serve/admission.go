@@ -84,6 +84,10 @@ func (s *Server) admit(tenantName string, cost int64) admission {
 	s.nSess++
 	t.active++
 	s.memUsed += cost
+	// memUsed is the sum of certified worst-case session footprints (see
+	// app.engineCost), so the gauge exposes exactly what admission is
+	// charging against the budget.
+	s.reg.Gauge("serve_admission_worstcase_bytes").Set(s.memUsed)
 	released := false
 	return admission{ok: true, release: func() {
 		s.mu.Lock()
@@ -95,6 +99,7 @@ func (s *Server) admit(tenantName string, cost int64) admission {
 		s.nSess--
 		t.active--
 		s.memUsed -= cost
+		s.reg.Gauge("serve_admission_worstcase_bytes").Set(s.memUsed)
 		s.idle.Broadcast()
 	}}
 }

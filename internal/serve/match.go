@@ -35,12 +35,12 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown app", http.StatusNotFound)
 		return
 	}
-	cost := a.img.EngineFootprint() + sessionOverheadBytes
+	cost := a.engineCost()
 	if s.batchingEnabled() {
 		// A batched request shares one batch engine with its lane
 		// neighbours; charge it the per-lane slice instead of a whole
-		// solo engine.
-		cost = a.img.BatchLaneFootprint() + sessionOverheadBytes
+		// solo engine (worst-case sized, like the solo charge).
+		cost = a.laneCost()
 	}
 	adm := s.admit(tenant, cost)
 	if !adm.ok {

@@ -50,6 +50,7 @@ import (
 	"sparseap/internal/metrics"
 	"sparseap/internal/sim"
 	"sparseap/internal/spap"
+	"sparseap/internal/worstcase"
 )
 
 // Config tunes the server. The zero value is usable for tests; New fills
@@ -158,6 +159,36 @@ type app struct {
 	once sync.Once
 	part *hotcold.Partition
 	perr error
+
+	wcOnce  sync.Once
+	wcBound int // certified worst-case frontier width
+}
+
+// frontierBound returns (computing once) the certified worst-case
+// frontier width of the application, the size admission charges engines
+// at. The k-gram refinement is skipped: layers 1–2 are fast and sound,
+// and admission only loses a little headroom to the looser bound.
+func (a *app) frontierBound() int {
+	a.wcOnce.Do(func() {
+		a.wcBound = worstcase.Analyze(a.net, worstcase.Config{NoGram: true}).FrontierBound
+	})
+	return a.wcBound
+}
+
+// engineCost is the admission charge of one solo-engine session: the
+// engine sized for the certified worst-case frontier instead of the
+// unconditional full-state estimate. The charge stays sound under
+// adversarial input — no frontier can exceed the static bound — while
+// admitting more sessions whenever the bound is far below the state
+// count.
+func (a *app) engineCost() int64 {
+	return a.img.EngineFootprintBounded(a.frontierBound()) + sessionOverheadBytes
+}
+
+// laneCost is the admission charge of one batched match: the per-lane
+// slice of a batch engine sized for the certified worst-case frontier.
+func (a *app) laneCost() int64 {
+	return a.img.BatchLaneFootprintBounded(a.frontierBound()) + sessionOverheadBytes
 }
 
 // partition builds (once) the static hot/cold partition the SpAP match

@@ -486,10 +486,40 @@ func TestMetricsEndpoint(t *testing.T) {
 		`serve_sessions_started{tenant="t0"} 1`,
 		`serve_sessions_completed{tenant="t0"} 1`,
 		"serve_reports_delivered",
+		"serve_admission_worstcase_bytes",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestAdmissionChargesWorstCase checks that sessions are charged the
+// certified worst-case engine footprint: the gauge reflects the charge
+// while a session is live and falls back to zero after release, and the
+// bounded charge never exceeds the unconditional full-state estimate.
+func TestAdmissionChargesWorstCase(t *testing.T) {
+	testleak.Check(t)
+	net := testNet(t)
+	h := startServer(t, Config{}, net)
+	a := h.s.lookupApp("test")
+	want := a.engineCost()
+	if want <= sessionOverheadBytes {
+		t.Fatalf("engineCost = %d, want a positive engine charge", want)
+	}
+	if nominal := a.img.EngineFootprint() + sessionOverheadBytes; want > nominal {
+		t.Fatalf("worst-case charge %d exceeds the full-state estimate %d", want, nominal)
+	}
+	adm := h.s.admit("t0", a.engineCost())
+	if !adm.ok {
+		t.Fatal("admit refused an idle server")
+	}
+	if got := h.s.Registry().Gauge("serve_admission_worstcase_bytes").Value(); got != want {
+		t.Fatalf("gauge = %d during session, want %d", got, want)
+	}
+	adm.release()
+	if got := h.s.Registry().Gauge("serve_admission_worstcase_bytes").Value(); got != 0 {
+		t.Fatalf("gauge = %d after release, want 0", got)
 	}
 }
 

@@ -254,7 +254,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown app", http.StatusNotFound)
 		return
 	}
-	adm := s.admit(tenant, a.img.EngineFootprint()+sessionOverheadBytes)
+	adm := s.admit(tenant, a.engineCost())
 	if !adm.ok {
 		s.shed(w, tenant, adm.status, adm.retryAfter, adm.reason)
 		return

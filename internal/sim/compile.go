@@ -232,6 +232,19 @@ func (img *Image) EngineFootprint() int64 {
 	return 2*int64(img.words)*8 + 2*int64(img.n)*4
 }
 
+// EngineFootprintBounded is EngineFootprint under a certified frontier
+// bound: the two bitmaps are words-sized regardless, but the sparse
+// frontier lists only ever grow to the largest frontier the engine
+// observes, so a sound worst-case width from internal/worstcase caps
+// them. The admission controller charges this instead of the nominal
+// full-state estimate when a bound is available.
+func (img *Image) EngineFootprintBounded(bound int) int64 {
+	if bound < 0 || bound > img.n {
+		bound = img.n
+	}
+	return 2*int64(img.words)*8 + 2*int64(bound)*4
+}
+
 // BatchEngineFootprint estimates the per-batch-engine dynamic bytes: the
 // three lane-transposed n-word arrays (current/next frontier lane masks
 // and the per-cycle activation accumulator), the two union bitmaps, and,
@@ -252,6 +265,61 @@ func (img *Image) BatchEngineFootprint() int64 {
 func (img *Image) BatchLaneFootprint() int64 {
 	return (img.BatchEngineFootprint() + 63) / 64
 }
+
+// BatchEngineFootprintBounded is BatchEngineFootprint under a certified
+// frontier bound. The three lane-transposed arrays are allocated
+// n-sized up front regardless, so only the union frontier/activation
+// lists shrink with the bound.
+func (img *Image) BatchEngineFootprintBounded(bound int) int64 {
+	if bound < 0 || bound > img.n {
+		bound = img.n
+	}
+	b := 3 * int64(img.n) * 8     // curLane + nxtLane + actLane
+	b += 2 * int64(img.words) * 8 // union bitmaps
+	b += 4 * int64(bound) * 4     // frontier, next, actList, repBuf
+	b += 64 * 64                  // lane bookkeeping
+	return b
+}
+
+// BatchLaneFootprintBounded is the per-stream share of
+// BatchEngineFootprintBounded.
+func (img *Image) BatchLaneFootprintBounded(bound int) int64 {
+	return (img.BatchEngineFootprintBounded(bound) + 63) / 64
+}
+
+// Read-only structural accessors for static analyses (internal/worstcase
+// walks the image to synthesize adversarial inputs). All returned slices
+// alias the image's immutable arrays and must not be mutated.
+
+// NumStates returns the number of states in the compiled network.
+func (img *Image) NumStates() int { return img.n }
+
+// Words returns the length of every state-indexed bitmap (ceil(n/64)).
+func (img *Image) Words() int { return img.words }
+
+// SymMaskRow returns the transposed match bitmap for symbol b: bit s set
+// iff state s matches b.
+func (img *Image) SymMaskRow(b byte) []uint64 { return img.symMask[b] }
+
+// StartMaskRow returns the all-input start states activated by symbol b
+// as a bitmap (a shared zero row when the network has none).
+func (img *Image) StartMaskRow(b byte) []uint64 { return img.startMask[b] }
+
+// ReportMask returns the reporting-state flag words.
+func (img *Image) ReportMask() []uint64 { return img.report }
+
+// AllInputMask returns the all-input-start flag words.
+func (img *Image) AllInputMask() []uint64 { return img.allInput }
+
+// Successors returns state s's compiled successor list with edges into
+// all-input start states already filtered out — exactly the states the
+// engine would enable when s activates.
+func (img *Image) Successors(s automata.StateID) []automata.StateID {
+	return img.succ[img.succOff[s]:img.succOff[s+1]]
+}
+
+// StartsOfData lists the start-of-data states (enabled at position 0).
+func (img *Image) StartsOfData() []automata.StateID { return img.startsOfData }
 
 // ImageOf returns net's cached execution image, compiling and caching it
 // on first use. Safe for concurrent callers: a rare duplicate compile is

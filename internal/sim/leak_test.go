@@ -2,6 +2,8 @@ package sim
 
 import (
 	"context"
+	"fmt"
+	"sync"
 	"testing"
 
 	"sparseap/internal/automata"
@@ -92,6 +94,60 @@ func TestBatchAcquireReleaseSteadyStateNoAlloc(t *testing.T) {
 	cycle() // warm-up: first acquisition sizes the scratch
 	if allocs := testing.AllocsPerRun(50, cycle); allocs > 0 {
 		t.Fatalf("steady-state acquire/run/release allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestBatchAcquireReleaseSoak drives full batch cycles — acquire, lane
+// join, tick to retirement, release — from several goroutines against
+// one shared image. Unlike the zero-alloc cell above (which sync.Pool
+// semantics force to skip under the race detector), this cell runs
+// under -race too, so the pool handoff and lane join/retire paths get
+// race coverage, and every lane's report count is checked against a
+// solo run of the same input.
+func TestBatchAcquireReleaseSoak(t *testing.T) {
+	net := leakNet(t)
+	img := ImageOf(net)
+	const lanesPer = 6
+	want := make([]int, lanesPer)
+	for l := range want {
+		want[l] = len(Run(net, leakInput(256+32*l), Options{CollectReports: true}).Reports)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := 0; trial < 8; trial++ {
+				be := img.AcquireBatch(BatchOptions{CollectReports: true})
+				lanes := make([]int, lanesPer)
+				for l := range lanes {
+					lane, ok := be.Join(leakInput(256 + 32*l))
+					if !ok {
+						errs <- fmt.Errorf("trial %d: lane %d join refused", trial, l)
+						be.Release()
+						return
+					}
+					lanes[l] = lane
+				}
+				for be.Running() > 0 {
+					be.Tick()
+				}
+				for l, lane := range lanes {
+					if got := len(be.LaneReports(lane)); got != want[l] {
+						errs <- fmt.Errorf("trial %d: lane %d got %d reports, want %d", trial, l, got, want[l])
+						be.Release()
+						return
+					}
+				}
+				be.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

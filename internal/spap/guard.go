@@ -64,6 +64,12 @@ type Guard struct {
 	// retries and falls back to baseline immediately, keeping the wasted
 	// work to one short aborted attempt.
 	HopelessFactor float64
+	// Preflight runs the certified worst-case pre-flight before the
+	// first attempt: Safe partitions skip the watchdog, storm-bounded
+	// ones start at statically sized layers, and certified-hopeless ones
+	// go straight to the baseline fallback without paying for a trip.
+	// See PreflightPartition for the trade-off.
+	Preflight bool
 }
 
 // DefaultGuard returns budgets tuned on the suite: every healthy
@@ -129,6 +135,8 @@ type GuardStats struct {
 	// FallbackCycles is the cost of all fallback executions (baseline
 	// batches × symbols processed).
 	FallbackCycles int64
+	// Preflight is the static pre-flight verdict (Guard.Preflight only).
+	Preflight *Preflight
 }
 
 // errGuardTripped aborts BaseAP mode internally; it never escapes
@@ -266,9 +274,28 @@ func runGuarded(ctx context.Context, p *hotcold.Partition, input []byte, cfg ap.
 	inner.CollectReports = true // per-batch fallback splices report lists
 	var acc fault.Stats         // fault counters from aborted attempts
 	cur := p
+	if g.Preflight {
+		pf := PreflightPartition(p, g, cfg.EnablePorts)
+		gs.Preflight = pf
+		if pf.Hopeless {
+			gs.FallbackBaseline = true
+			return baselineFallback(ctx, p, input, cfg, opts, gs, acc)
+		}
+		if pf.K != nil {
+			if np, err := hotcold.Build(p.Net, p.Topo, pf.K, hotcold.Options{}); err == nil {
+				cur = np
+				gs.Widened = true
+			}
+		}
+	}
 	for {
 		gs.Attempts++
 		wd := &watchdog{g: g, ports: cfg.EnablePorts}
+		if gs.Preflight != nil && gs.Preflight.Safe {
+			// The static bound proves the watchdog can never trip; skip
+			// its bookkeeping entirely.
+			wd = nil
+		}
 		res, inter, err := runBaseAPMode(ctx, cur, input, cfg, inner, wd)
 		if errors.Is(err, errGuardTripped) {
 			gs.Trips++

@@ -1,0 +1,131 @@
+// Static pre-flight for the guard: the certified worst-case analysis
+// (internal/worstcase) applied to a partition before the first symbol is
+// streamed. The runtime watchdog discovers a report storm by paying for
+// it — a wasted BaseAP attempt per trip, then widened retries. The
+// pre-flight decides the same ladder from the static bound instead:
+//
+//   - Safe: the worst-case number of SIMULTANEOUS intermediate reports
+//     in any cycle is within the enable-port count, so no input — not
+//     even an adversarial one — can ever stall an enable, and a
+//     watchdog trip (which requires both the report and the stall
+//     budget to be exceeded) is impossible. The guarded run skips the
+//     watchdog entirely.
+//   - Sized: some widening of the partition layers within the guard's
+//     retry allowance brings the static bound under the port count; the
+//     run starts at those layers and never pays the trip that would
+//     have found them.
+//   - Hopeless: no allowed widening fits AND an adversarial witness
+//     input demonstrably sustains a stalling storm past the hopeless
+//     threshold; the run goes straight to the baseline fallback,
+//     spending zero cycles on attempts that certified analysis says an
+//     adversary can always void.
+//
+// The pre-flight sizes for the certified worst case. On benign traffic
+// that is pessimistic — a Hopeless app would have run fine in BaseAP
+// mode — so it is opt-in (Guard.Preflight), for deployments that value
+// tail-latency certainty over average-case SpAP wins; apserve's
+// admission control makes the same trade.
+package spap
+
+import (
+	"sparseap/internal/automata"
+	"sparseap/internal/hotcold"
+	"sparseap/internal/worstcase"
+)
+
+// Pre-flight analysis budgets: the bound is sound at any budget, and the
+// witness only needs to clear the hopeless threshold, not be maximal.
+const (
+	preflightGramBudget = 32 << 20
+	preflightWitnessLen = 1024
+)
+
+// Preflight is the static verdict on one partition under one guard
+// configuration and port count.
+type Preflight struct {
+	// Density is the static upper bound on intermediate reports emitted
+	// in any single cycle — simultaneity, the quantity that stalls
+	// enable ports, and a fortiori a bound on reports/symbol.
+	Density float64
+	// WitnessDensity is the intermediate-report density (reports per
+	// symbol) a synthesized adversarial input actually sustains, and
+	// WitnessPeak its largest single-cycle burst (both 0 when the
+	// witness stage was not needed). The frontier model is engine-exact,
+	// so these are demonstrated lower bounds on the adversarial truth.
+	WitnessDensity float64
+	WitnessPeak    int
+	// Safe reports Density ≤ the enable-port count: no input can stall,
+	// so the watchdog cannot trip.
+	Safe bool
+	// K, when non-nil, holds widened partition layers whose static
+	// bound fits the port count — the layer sizing the runtime ladder
+	// would have found by tripping.
+	K []int32
+	// Hopeless reports that no allowed widening fits and the witness
+	// sustains a stalling storm above HopelessFactor × ReportBudget.
+	Hopeless bool
+}
+
+// interBound bounds the single-cycle intermediate-report burst of a
+// partition's hot network: the worst-case per-cycle count of activations
+// of the cut stand-in states (HotOrig == None).
+func interBound(p *hotcold.Partition) int {
+	if p.Hot.Len() == 0 {
+		return 0
+	}
+	wc := worstcase.Analyze(p.Hot, worstcase.Config{GramBudget: preflightGramBudget})
+	bound, _ := wc.ReportBoundFor(func(s automata.StateID) bool {
+		return p.HotOrig[s] == automata.None
+	})
+	return bound
+}
+
+// PreflightPartition computes the static verdict for running p under g
+// with the given number of enable ports. It never modifies p; a Sized
+// verdict returns the recommended layers in K and the caller rebuilds.
+func PreflightPartition(p *hotcold.Partition, g Guard, ports int) *Preflight {
+	g = g.withDefaults()
+	if ports <= 0 {
+		ports = 1
+	}
+	pf := &Preflight{Density: float64(interBound(p))}
+	if pf.Density <= float64(ports) {
+		pf.Safe = true
+		return pf
+	}
+	// Size the layers: walk the same widening ladder the runtime guard
+	// would, but compare static bounds instead of paying for trips.
+	cur := p
+	for r := 0; r < g.MaxRetries; r++ {
+		np, ok := widenPartition(cur, g.WidenFactor)
+		if !ok {
+			break
+		}
+		cur = np
+		if interBound(cur) <= ports {
+			pf.K = cur.K
+			return pf
+		}
+	}
+	// No allowed widening fits: ask the witness synthesizer whether an
+	// input actually sustaining a hopeless-grade stalling storm exists,
+	// or the bound is just loose.
+	wc := worstcase.Analyze(p.Hot, worstcase.Config{GramBudget: preflightGramBudget})
+	var targets []automata.StateID
+	for s, o := range p.HotOrig {
+		if o == automata.None {
+			targets = append(targets, automata.StateID(s))
+		}
+	}
+	w := wc.Synthesize(worstcase.WitnessOptions{
+		Target: targets,
+		MaxLen: preflightWitnessLen,
+	})
+	pf.WitnessPeak = w.PeakTarget
+	if n := len(w.Input); n > 0 {
+		pf.WitnessDensity = float64(w.TotalTarget) / float64(n)
+	}
+	pf.Hopeless = pf.WitnessPeak > ports &&
+		pf.WitnessDensity > g.HopelessFactor*g.ReportBudget
+	return pf
+}

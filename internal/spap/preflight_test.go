@@ -1,0 +1,135 @@
+package spap
+
+import (
+	"context"
+	"testing"
+
+	"sparseap/internal/automata"
+	"sparseap/internal/graph"
+	"sparseap/internal/hotcold"
+	"sparseap/internal/regexc"
+	"sparseap/internal/sim"
+	"sparseap/internal/symset"
+)
+
+// buildDeepStorm is buildStorm with a longer cold chain: always-enabled
+// hot heads feed `depth` cold states each, so a single widening round
+// (factor 2 from k=1) still leaves a storming cut — the shape the
+// pre-flight must classify as hopeless rather than sized.
+func buildDeepStorm(t *testing.T, starts int, span byte, depth, inputLen int) (*hotcold.Partition, []byte) {
+	t.Helper()
+	m := automata.NewNFA()
+	var wide symset.Set
+	wide.AddRange('a', 'a'+span-1)
+	for i := 0; i < starts; i++ {
+		prev := m.Add(wide, automata.StartAllInput, false)
+		for d := 0; d < depth; d++ {
+			s := m.Add(wide, automata.StartNone, d == depth-1)
+			m.Connect(prev, s)
+			prev = s
+		}
+	}
+	net := automata.NewNetwork(m)
+	p, err := hotcold.Build(net, graph.TopoOrder(net), []int32{1}, hotcold.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]byte, inputLen)
+	for i := range input {
+		input[i] = 'a' + byte(i)%span
+	}
+	return p, input
+}
+
+func TestPreflightSafePartition(t *testing.T) {
+	// A single literal chain has at most one simultaneous intermediate
+	// report — within the one enable port, so no input can ever stall
+	// and the verdict is Safe.
+	net, err := regexc.CompileAll([]string{"abcde"}, regexc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("ab abcde xx abcde")
+	p := buildPartition(t, net, input[:2])
+	pf := PreflightPartition(p, Guard{}, 1)
+	if !pf.Safe || pf.Hopeless || pf.K != nil {
+		t.Fatalf("preflight = %+v, want Safe", pf)
+	}
+
+	res, err := RunGuarded(context.Background(), p, input, cfgWithCapacity(100), Guard{Preflight: true}, Options{CollectReports: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := res.Guard
+	if gs.Preflight == nil || !gs.Preflight.Safe {
+		t.Fatalf("guard stats lack the Safe verdict: %+v", gs)
+	}
+	if gs.Attempts != 1 || gs.Trips != 0 || gs.Widened || gs.FallbackBaseline {
+		t.Fatalf("safe preflight changed execution: %+v", gs)
+	}
+	plain, err := RunBaseAPSpAP(p, input, cfgWithCapacity(100), Options{CollectReports: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles != plain.TotalCycles || !reportsEqual(plain.Reports, res.Reports) {
+		t.Fatal("safe preflight run diverges from the unguarded executor")
+	}
+}
+
+func TestPreflightSizesLayers(t *testing.T) {
+	// The shallow storm is fixed by one widening round (fully hot): the
+	// pre-flight finds that statically, and the guarded run starts there
+	// — widened, but with zero trips and zero wasted cycles.
+	p, input := buildStorm(t, 4, 16, 4096)
+	pf := PreflightPartition(p, Guard{}, 1)
+	if pf.Safe || pf.Hopeless || pf.K == nil {
+		t.Fatalf("preflight = %+v, want sized layers", pf)
+	}
+
+	res, err := RunGuarded(context.Background(), p, input, cfgWithCapacity(100), Guard{Preflight: true, MinReports: 64}, Options{CollectReports: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := res.Guard
+	if gs.Attempts != 1 || gs.Trips != 0 || !gs.Widened || gs.FallbackBaseline {
+		t.Fatalf("guard stats = %+v, want pre-widened single attempt", gs)
+	}
+	if gs.WastedCycles != 0 {
+		t.Errorf("pre-widening should waste nothing, got %d cycles", gs.WastedCycles)
+	}
+	baseline := sim.Run(p.Net, input, sim.Options{CollectReports: true})
+	if !reportsEqual(baseline.Reports, res.Reports) {
+		t.Fatal("pre-widened run changed the report multiset")
+	}
+}
+
+func TestPreflightHopelessShortCircuits(t *testing.T) {
+	// The deep storm survives the allowed widening, and the witness
+	// demonstrates a sustained stalling storm: the guarded run goes
+	// straight to baseline without a single BaseAP attempt.
+	p, input := buildDeepStorm(t, 4, 16, 3, 4096)
+	pf := PreflightPartition(p, Guard{MinReports: 64}, 1)
+	if pf.Safe || pf.K != nil || !pf.Hopeless {
+		t.Fatalf("preflight = %+v, want Hopeless", pf)
+	}
+	if pf.WitnessPeak <= 1 || pf.WitnessDensity <= 1 {
+		t.Fatalf("witness should demonstrate a storm, got peak %d density %.2f",
+			pf.WitnessPeak, pf.WitnessDensity)
+	}
+
+	res, err := RunGuarded(context.Background(), p, input, cfgWithCapacity(100), Guard{Preflight: true, MinReports: 64}, Options{CollectReports: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := res.Guard
+	if gs.Attempts != 0 || gs.Trips != 0 || !gs.FallbackBaseline {
+		t.Fatalf("guard stats = %+v, want zero attempts and a baseline fallback", gs)
+	}
+	if gs.WastedCycles != 0 {
+		t.Errorf("hopeless short-circuit should waste nothing, got %d cycles", gs.WastedCycles)
+	}
+	baseline := sim.Run(p.Net, input, sim.Options{CollectReports: true})
+	if !reportsEqual(baseline.Reports, res.Reports) {
+		t.Fatal("hopeless fallback changed the report multiset")
+	}
+}

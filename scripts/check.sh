@@ -11,7 +11,9 @@
 # stream comparison), a serve-soak smoke cell (real SIGKILL of a live
 # apserve with resumed streams), throughput and prediction smoke cells of apbench,
 # a batch-kernel smoke cell (64-stream solo-vs-batch with the per-lane
-# equivalence and aligned-speedup gates), the apopt certificate-checked
+# equivalence and aligned-speedup gates), a worst-case smoke cell
+# (certified bounds + adversarial witness with the soundness, dominance,
+# gap and resilience gates), the apopt certificate-checked
 # rewrite of the suite, and the aplint sweep of the generated workload
 # suite.
 set -euo pipefail
@@ -133,6 +135,20 @@ batch_out=$(mktemp)
 go run ./cmd/apbench -streams 64 -apps PEN,Snort -divisor 64 -input 8192 \
     -benchtime 20ms -out "$batch_out" -check -tolerance 0.20
 rm -f "$batch_out"
+
+# Worst-case smoke: the certified frontier/report bounds and adversarial
+# witness on the two gate apps, failing on any soundness violation
+# (witness replay out-running the static bound), plus the adversarial
+# bench mode with its gates on — the same check CI's bench-adversarial
+# job runs.
+echo "== worst-case analysis smoke (PEN + Snort) =="
+go run ./cmd/apstat -app PEN -divisor 64 -input 8192 -worstcase >/dev/null
+go run ./cmd/apstat -app Snort -divisor 64 -input 8192 -worstcase >/dev/null
+echo "== apbench adversarial smoke (PEN + Snort) =="
+adv_out=$(mktemp)
+go run ./cmd/apbench -adversarial -apps PEN,Snort -divisor 64 -input 8192 \
+    -benchtime 20ms -out "$adv_out" -check -tolerance 0.20
+rm -f "$adv_out"
 
 # Prediction-mode smoke: the static-vs-profiled study on a small app set,
 # with the gate on (static geomean >= normalized-depth, identical report
