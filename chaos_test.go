@@ -396,3 +396,147 @@ func TestChaosServeOverload(t *testing.T) {
 		t.Fatalf("latency percentiles malformed: p50=%.3f p99=%.3f", bench.P50Ms, bench.P99Ms)
 	}
 }
+
+// TestChaosServeClusterFailover is the cluster chaos cell: node A
+// replicates every committed checkpoint slot to follower B (ack quorum
+// 1, so reports release only once B holds the covering slot), the
+// client streams against A with B as a peer, and A is SIGKILLed
+// (Abort + dropped connections) mid-stream and never comes back. The
+// client must fail over to B, resume from the replicated slots, and
+// assemble a report stream bit-identical to an uninterrupted local run
+// — without ever restarting from scratch. The out-of-process version,
+// with a real SIGKILL, lives in scripts/cluster_soak.sh.
+func TestChaosServeClusterFailover(t *testing.T) {
+	cfg := workloads.Config{Divisor: 64, InputLen: 131072}
+	app, err := workloads.Build("HM", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	storeB, err := sparseap.OpenCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB := sparseap.NewMatchServer(sparseap.ServeConfig{Store: storeB, Every: 2048})
+	if err := sB.AddApp("HM", app.Net, cfg.Fingerprint("HM")); err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(sB.Handler())
+	defer tsB.Close()
+
+	localA, err := sparseap.OpenCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sA := sparseap.NewMatchServer(sparseap.ServeConfig{
+		Store: sparseap.NewReplicatedStore(localA, sparseap.ReplicaOptions{
+			Followers: []string{tsB.URL},
+			Ack:       1,
+		}),
+		Every: 2048,
+	})
+	if err := sA.AddApp("HM", app.Net, cfg.Fingerprint("HM")); err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(sA.Handler())
+	defer tsA.Close()
+
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(40 * time.Millisecond)
+		sA.Abort()
+		tsA.CloseClientConnections()
+	}()
+
+	cl := &sparseap.ServeClient{
+		URL:    func() string { return tsA.URL },
+		Peers:  []string{tsB.URL},
+		Tenant: "tenant-0",
+		Chunk:  512,
+		Pace:   300 * time.Microsecond, // stretch the stream past the kill
+	}
+	res, err := cl.Stream(context.Background(), "HM", app.Input)
+	<-killed
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sparseap.Match(app.Net, app.Input)
+	if !sameReports(res.Reports, want) {
+		t.Fatalf("failed-over stream diverged: %d vs %d reports", len(res.Reports), len(want))
+	}
+	if cl.Retries.Load() == 0 {
+		t.Fatal("no retry happened — the kill missed the stream and the cell tested nothing")
+	}
+	if cl.Failovers.Load() == 0 {
+		t.Fatal("client never failed over to the follower")
+	}
+	if cl.Resumes.Load() == 0 {
+		t.Fatal("client never resumed from the replicated slots")
+	}
+	if cl.Restarts.Load() != 0 {
+		t.Fatalf("failover forced %d restarts; replication must make the resume seamless", cl.Restarts.Load())
+	}
+}
+
+// TestChaosServeFailoverWithoutReplication is the degraded-mode
+// contract: node A does NOT replicate (plain local store), dies
+// permanently mid-stream, and the client fails over to peer B whose
+// store has never heard of the session. The stream must still complete
+// bit-identically — B reruns it from symbol 0 — and the degradation
+// must be explicit: the client counts a forced restart, never silently
+// splicing streams.
+func TestChaosServeFailoverWithoutReplication(t *testing.T) {
+	cfg := workloads.Config{Divisor: 64, InputLen: 131072}
+	app, err := workloads.Build("HM", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func() (*sparseap.MatchServer, *httptest.Server) {
+		store, err := sparseap.OpenCheckpointStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sparseap.NewMatchServer(sparseap.ServeConfig{Store: store, Every: 2048})
+		if err := s.AddApp("HM", app.Net, cfg.Fingerprint("HM")); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		return s, ts
+	}
+	sA, tsA := mk()
+	_, tsB := mk()
+
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(40 * time.Millisecond)
+		sA.Abort()
+		tsA.CloseClientConnections()
+	}()
+
+	cl := &sparseap.ServeClient{
+		URL:    func() string { return tsA.URL },
+		Peers:  []string{tsB.URL},
+		Tenant: "tenant-0",
+		Chunk:  512,
+		Pace:   300 * time.Microsecond,
+	}
+	res, err := cl.Stream(context.Background(), "HM", app.Input)
+	<-killed
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sparseap.Match(app.Net, app.Input)
+	if !sameReports(res.Reports, want) {
+		t.Fatalf("restarted stream diverged: %d vs %d reports", len(res.Reports), len(want))
+	}
+	if cl.Retries.Load() == 0 {
+		t.Fatal("no retry happened — the kill missed the stream and the cell tested nothing")
+	}
+	if cl.Restarts.Load() == 0 {
+		t.Fatal("unreplicated node loss must surface as an explicit restart, not a silent splice")
+	}
+}

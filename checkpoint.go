@@ -19,7 +19,11 @@ type (
 	// CheckpointStore is a directory-backed durable store: every save is
 	// write-tmp + fsync + rename with the previous checkpoint rotated to a
 	// fallback slot, so a crash at any instant leaves a loadable state.
-	CheckpointStore = checkpoint.Store
+	CheckpointStore = checkpoint.DirStore
+	// SlotStore is the store contract CheckpointStore implements; the
+	// replicated store (NewReplicatedStore) satisfies it too, so every
+	// checkpoint consumer accepts either.
+	SlotStore = checkpoint.Store
 	// CheckpointRunner bundles a store with one checkpoint stream and its
 	// capture policy (interval, chaos hook). A nil store disables
 	// persistence; executors need no nil-guards.

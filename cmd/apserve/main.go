@@ -12,6 +12,18 @@
 // nothing either — sessions resume from their last durable capture with
 // exactly-once report delivery.
 //
+// In a cluster, -peers names sibling nodes and -replicas ships every
+// committed checkpoint slot to follower nodes:
+//
+//	apserve -addr :8425 -store /var/lib/a \
+//	        -peers http://b:8425 -replicas http://b:8425 -ack 1
+//
+// SIGTERM then drain-migrates live sessions to a healthy peer (clients
+// follow the `moved` record with no restart wait), and SIGKILL of a
+// node only pauses its sessions until the clients fail over to a
+// follower holding the replicated slots. Pass -peers to the loadgen too
+// so its clients exercise the same failover path.
+//
 // Loadgen mode exercises a running server and writes a benchmark record:
 //
 //	apserve -loadgen -url http://127.0.0.1:8425 -apps HM,PEN,TCP \
@@ -33,6 +45,8 @@ import (
 	"time"
 
 	"sparseap/internal/checkpoint"
+	"sparseap/internal/metrics"
+	"sparseap/internal/replica"
 	"sparseap/internal/serve"
 	"sparseap/internal/workloads"
 )
@@ -56,6 +70,10 @@ func main() {
 		batchLanes   = flag.Int("batch-streams", 0, "coalesce concurrent /v1/match calls into batch ticks of up to N lanes (0/1 = solo path)")
 		batchWindow  = flag.Duration("batch-window", 0, "admission window a lone match waits for batch company (0 = 500us default)")
 
+		peers    = flag.String("peers", "", "comma-separated sibling node base URLs: migration targets for /v1/migrate, SIGTERM drain-migrates live sessions to them; loadgen mode fails clients over to them")
+		replicas = flag.String("replicas", "", "comma-separated follower base URLs: every committed checkpoint slot is shipped to them, so sessions survive this node's loss (requires -store)")
+		ack      = flag.Int("ack", 1, "follower acks required before reports release to the client (clamped to the replica count; fewer acks = degraded local-only durability)")
+
 		loadgen  = flag.Bool("loadgen", false, "run as load generator against -url instead of serving")
 		url      = flag.String("url", "http://127.0.0.1:8425", "server base URL (loadgen mode)")
 		streams  = flag.Int("streams", 2, "verified stream sessions per app (loadgen mode)")
@@ -68,14 +86,15 @@ func main() {
 	flag.Parse()
 
 	cfg := workloads.Config{Divisor: *divisor, InputLen: *inputLen, Seed: *seed}
-	abbrs := splitApps(*apps)
+	abbrs := splitList(*apps)
 
 	if *loadgen {
-		runLoadgen(*url, abbrs, cfg, *streams, *requests, *overload, *tenants, *pace, *benchOut)
+		runLoadgen(*url, splitList(*peers), abbrs, cfg, *streams, *requests, *overload, *tenants, *pace, *benchOut)
 		return
 	}
 
 	scfg := serve.Config{
+		Registry:     metrics.NewRegistry(),
 		Every:        *every,
 		MaxSessions:  *maxSessions,
 		MaxPerTenant: *maxPerTenant,
@@ -84,6 +103,7 @@ func main() {
 		MemBudget:    *memBudget,
 		BatchStreams: *batchLanes,
 		BatchWindow:  *batchWindow,
+		Peers:        splitList(*peers),
 	}
 	if *storeDir != "" {
 		store, err := checkpoint.Open(*storeDir)
@@ -91,6 +111,17 @@ func main() {
 			fatal(err)
 		}
 		scfg.Store = store
+		if followers := splitList(*replicas); len(followers) > 0 {
+			// Share the server's registry so the replication counters
+			// and the lag gauge surface on this node's /metrics.
+			scfg.Store = replica.New(store, replica.Options{
+				Followers: followers, Ack: *ack, Registry: scfg.Registry,
+			})
+			fmt.Printf("apserve: replicating checkpoints to %s (ack quorum %d)\n",
+				strings.Join(followers, ", "), *ack)
+		}
+	} else if *replicas != "" {
+		fatal(fmt.Errorf("-replicas requires -store (nothing to ship without a local checkpoint store)"))
 	}
 	s := serve.New(scfg)
 	for _, abbr := range abbrs {
@@ -117,10 +148,21 @@ func main() {
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	go func() {
 		sig := <-sigCh
-		fmt.Printf("apserve: %v: draining (timeout %v)\n", sig, *drainWait)
-		if err := s.Drain(*drainWait); err != nil {
-			fmt.Fprintln(os.Stderr, "apserve:", err)
-			os.Exit(1)
+		// With peers configured, hand live sessions to a healthy sibling
+		// (clients follow `moved` with no restart wait); otherwise
+		// checkpoint-and-suspend them for the next process.
+		if len(scfg.Peers) > 0 {
+			fmt.Printf("apserve: %v: drain-migrating to peers (timeout %v)\n", sig, *drainWait)
+			if err := s.DrainMigrate(*drainWait); err != nil {
+				fmt.Fprintln(os.Stderr, "apserve:", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Printf("apserve: %v: draining (timeout %v)\n", sig, *drainWait)
+			if err := s.Drain(*drainWait); err != nil {
+				fmt.Fprintln(os.Stderr, "apserve:", err)
+				os.Exit(1)
+			}
 		}
 		fmt.Println("apserve: drained cleanly")
 		close(drained)
@@ -131,9 +173,10 @@ func main() {
 	<-drained
 }
 
-func runLoadgen(url string, abbrs []string, cfg workloads.Config, streams, requests, overload, tenants int, pace time.Duration, benchOut string) {
+func runLoadgen(url string, peers, abbrs []string, cfg workloads.Config, streams, requests, overload, tenants int, pace time.Duration, benchOut string) {
 	bench, err := serve.RunLoadgen(context.Background(), serve.LoadgenOptions{
 		URL:           url,
+		Peers:         peers,
 		Apps:          abbrs,
 		AppConfig:     cfg,
 		StreamsPerApp: streams,
@@ -143,8 +186,8 @@ func runLoadgen(url string, abbrs []string, cfg workloads.Config, streams, reque
 		Pace:          pace,
 	})
 	if bench != nil {
-		fmt.Printf("loadgen: %d/%d streams verified bit-identical (%d resumes, %d retries, %d sheds)\n",
-			bench.StreamsOK, bench.Streams, bench.Resumes, bench.Retries, bench.Sheds)
+		fmt.Printf("loadgen: %d/%d streams verified bit-identical (%d resumes, %d retries, %d sheds, %d failovers, %d restarts)\n",
+			bench.StreamsOK, bench.Streams, bench.Resumes, bench.Retries, bench.Sheds, bench.Failovers, bench.Restarts)
 		fmt.Printf("loadgen: %d/%d matches accepted; latency p50 %.2fms p99 %.2fms mean %.2fms\n",
 			bench.MatchAccepted, bench.Requests, bench.P50Ms, bench.P99Ms, bench.MeanMs)
 		if overload > 0 {
@@ -166,7 +209,7 @@ func runLoadgen(url string, abbrs []string, cfg workloads.Config, streams, reque
 	}
 }
 
-func splitApps(s string) []string {
+func splitList(s string) []string {
 	var out []string
 	for _, a := range strings.Split(s, ",") {
 		if a = strings.TrimSpace(a); a != "" {

@@ -53,34 +53,67 @@ var ErrMismatch = errors.New("checkpoint: existing checkpoint belongs to a diffe
 // castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Store persists named checkpoints in one directory. Each name owns two
-// slots: <name>.ckpt (latest) and <name>.ckpt.prev (previous good).
+// Store is the durable slot-store contract the executors and the serve
+// layer checkpoint through. DirStore is the concrete single-directory
+// implementation; replica.Store wraps one and ships every committed slot
+// to follower nodes. The contract every implementation must honor:
 //
-// A Store is safe for concurrent use: a serving process checkpoints many
-// sessions through one shared store, so Save/Load/Remove serialize on an
-// internal mutex. Concurrent writers to *different* names never corrupt
-// each other's slots; concurrent writers to the *same* name are
+//   - Save is atomic and rotates the previous latest to a fallback slot;
+//     when Save returns nil the payload is durable (an implementation
+//     with a stronger barrier — e.g. a replication quorum — returns only
+//     once that barrier holds, because callers release side effects the
+//     moment Save returns);
+//   - Load prefers the latest slot and falls back to the previous good
+//     one, returning ErrNoCheckpoint only when neither survives;
+//   - all methods are safe for concurrent use across names.
+type Store interface {
+	// Save atomically persists payload as the latest checkpoint of name,
+	// rotating the previous latest to the fallback slot.
+	Save(name string, version uint32, payload []byte) error
+	// Load returns the newest valid checkpoint of name, falling back to
+	// the previous-good slot; fellback reports that the latest slot was
+	// skipped. ErrNoCheckpoint means no slot survives.
+	Load(name string) (payload []byte, version uint32, fellback bool, err error)
+	// LoadPrevious returns the fallback slot directly, or ErrNoCheckpoint.
+	LoadPrevious(name string) (payload []byte, version uint32, err error)
+	// Names lists the checkpoint names with a latest slot, sorted.
+	Names() ([]string, error)
+	// Remove deletes every slot of name.
+	Remove(name string) error
+	// Clear removes every checkpoint in the store.
+	Clear() error
+}
+
+// DirStore persists named checkpoints in one directory. Each name owns
+// two slots: <name>.ckpt (latest) and <name>.ckpt.prev (previous good).
+//
+// A DirStore is safe for concurrent use: a serving process checkpoints
+// many sessions through one shared store, so Save/Load/Remove serialize
+// on an internal mutex. Concurrent writers to *different* names never
+// corrupt each other's slots; concurrent writers to the *same* name are
 // serialized, last writer wins (the serve layer guarantees one writer per
 // session name).
-type Store struct {
+type DirStore struct {
 	mu  sync.Mutex
 	dir string
 	seq map[string]uint64 // next sequence number per name
 }
 
+var _ Store = (*DirStore)(nil)
+
 // Open creates (if needed) and opens a checkpoint directory.
-func Open(dir string) (*Store, error) {
+func Open(dir string) (*DirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	return &Store{dir: dir, seq: map[string]uint64{}}, nil
+	return &DirStore{dir: dir, seq: map[string]uint64{}}, nil
 }
 
 // Dir returns the store's directory.
-func (s *Store) Dir() string { return s.dir }
+func (s *DirStore) Dir() string { return s.dir }
 
 // path returns the latest-slot path for name.
-func (s *Store) path(name string) string { return filepath.Join(s.dir, name+".ckpt") }
+func (s *DirStore) path(name string) string { return filepath.Join(s.dir, name+".ckpt") }
 
 // encodeFile renders the on-disk record: header + payload, CRC over
 // version|seq|len|payload so header corruption is also caught.
@@ -126,7 +159,7 @@ func decodeFile(b []byte) (version uint32, seq uint64, payload []byte, err error
 // Save atomically persists payload as the latest checkpoint of name. The
 // previous latest (if any) becomes the fallback slot first, so a crash at
 // any point of the sequence leaves at least one valid checkpoint behind.
-func (s *Store) Save(name string, version uint32, payload []byte) error {
+func (s *DirStore) Save(name string, version uint32, payload []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.path(name)
@@ -175,7 +208,7 @@ func (s *Store) Save(name string, version uint32, payload []byte) error {
 }
 
 // loadSlot reads and verifies one slot file.
-func (s *Store) loadSlot(path string) (payload []byte, seq uint64, version uint32, err error) {
+func (s *DirStore) loadSlot(path string) (payload []byte, seq uint64, version uint32, err error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, 0, 0, err
@@ -189,7 +222,7 @@ func (s *Store) loadSlot(path string) (payload []byte, seq uint64, version uint3
 // previous-good fallback). ErrNoCheckpoint means neither slot survives.
 // The returned Fellback flag tells callers a corrupted latest was
 // skipped, so they can log the recovery.
-func (s *Store) Load(name string) (payload []byte, version uint32, fellback bool, err error) {
+func (s *DirStore) Load(name string) (payload []byte, version uint32, fellback bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.path(name)
@@ -210,7 +243,7 @@ func (s *Store) Load(name string) (payload []byte, version uint32, fellback bool
 // directly, bypassing the latest slot. A session consumer that fell
 // behind the latest checkpoint's delivery floor resumes one capture
 // interval further back; ErrNoCheckpoint means no fallback slot exists.
-func (s *Store) LoadPrevious(name string) (payload []byte, version uint32, err error) {
+func (s *DirStore) LoadPrevious(name string) (payload []byte, version uint32, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	payload, _, version, err = s.loadSlot(s.path(name) + ".prev")
@@ -226,7 +259,7 @@ func (s *Store) LoadPrevious(name string) (payload []byte, version uint32, err e
 // Names lists the checkpoint names with a latest slot in the store,
 // sorted. A restarting server enumerates it to discover which sessions
 // are resumable.
-func (s *Store) Names() ([]string, error) {
+func (s *DirStore) Names() ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	entries, err := os.ReadDir(s.dir)
@@ -245,7 +278,7 @@ func (s *Store) Names() ([]string, error) {
 
 // Remove deletes every slot of name (latest, fallback, temp). Completed
 // runs use it to retire per-section state while keeping the manifest.
-func (s *Store) Remove(name string) error {
+func (s *DirStore) Remove(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.path(name)
@@ -260,7 +293,7 @@ func (s *Store) Remove(name string) error {
 
 // Clear removes every checkpoint file in the store's directory — the
 // fresh-start path when a run begins without -resume.
-func (s *Store) Clear() error {
+func (s *DirStore) Clear() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	entries, err := os.ReadDir(s.dir)

@@ -83,9 +83,9 @@ func TestConcurrentStoresSharedDir(t *testing.T) {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
-	for i, st := range []*Store{a, b} {
+	for i, st := range []*DirStore{a, b} {
 		wg.Add(1)
-		go func(i int, st *Store) {
+		go func(i int, st *DirStore) {
 			defer wg.Done()
 			name := fmt.Sprintf("gen-%d", i)
 			for k := 0; k < 40; k++ {

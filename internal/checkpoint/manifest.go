@@ -89,7 +89,7 @@ func decodeManifest(b []byte) (*Manifest, error) {
 }
 
 // SaveManifest persists the manifest through the store's atomic path.
-func (s *Store) SaveManifest(m *Manifest) error {
+func (s *DirStore) SaveManifest(m *Manifest) error {
 	var e Enc
 	m.encode(&e)
 	return s.Save(manifestName, manifestVersion, e.Bytes())
@@ -97,7 +97,7 @@ func (s *Store) SaveManifest(m *Manifest) error {
 
 // LoadManifest returns the stored manifest, or ErrNoCheckpoint when the
 // store holds none.
-func (s *Store) LoadManifest() (*Manifest, error) {
+func (s *DirStore) LoadManifest() (*Manifest, error) {
 	payload, version, _, err := s.Load(manifestName)
 	if err != nil {
 		return nil, err
@@ -113,7 +113,7 @@ func (s *Store) LoadManifest() (*Manifest, error) {
 // (the new chaos epoch) and persisted. When the store has no manifest a
 // fresh one is created with Resumes 0. The returned manifest reflects the
 // persisted state.
-func (s *Store) ResumeManifest(fingerprint string, inputLen int64) (*Manifest, error) {
+func (s *DirStore) ResumeManifest(fingerprint string, inputLen int64) (*Manifest, error) {
 	m, err := s.LoadManifest()
 	switch {
 	case errors.Is(err, ErrNoCheckpoint):
@@ -135,7 +135,7 @@ func (s *Store) ResumeManifest(fingerprint string, inputLen int64) (*Manifest, e
 
 // FreshManifest clears the store and persists a new manifest for a run
 // starting from scratch (no -resume).
-func (s *Store) FreshManifest(fingerprint string, inputLen int64) (*Manifest, error) {
+func (s *DirStore) FreshManifest(fingerprint string, inputLen int64) (*Manifest, error) {
 	if err := s.Clear(); err != nil {
 		return nil, err
 	}

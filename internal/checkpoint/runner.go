@@ -21,9 +21,10 @@ var ErrCrashInjected = errors.New("checkpoint: injected crash")
 // policy. Executors call Due at each loop position, Save with the encoded
 // state when it is, and Check to give the chaos hook a kill point.
 type Runner struct {
-	// Store is the backing store; nil disables checkpointing (every
-	// method degrades to a no-op, so executors need no nil-guards).
-	Store *Store
+	// Store is the backing store (any Store implementation — a DirStore
+	// or a replicated wrapper); nil disables checkpointing (every method
+	// degrades to a no-op, so executors need no nil-guards).
+	Store Store
 	// Name is the checkpoint stream name within the store (one per
 	// execution phase family, e.g. "baseline", "spap").
 	Name string

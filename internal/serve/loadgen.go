@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"os"
@@ -30,12 +31,19 @@ import (
 	"sparseap/internal/workloads"
 )
 
-// Client is a session-protocol client with retry and backoff. The zero
-// value is not usable; fill URL at least.
+// Client is a session-protocol client with retry, backoff, and cluster
+// failover. The zero value is not usable; fill URL at least.
 type Client struct {
 	// URL returns the server base URL (a func so a chaos harness can
 	// repoint the client at a restarted server between attempts).
 	URL func() string
+	// Peers are alternate server base URLs. On a connect failure, a
+	// mid-stream break, or a 503 the client rotates to the next base and
+	// resumes the same session from its delivery floor; a `moved` record
+	// overrides the rotation and sends the next attempt straight to the
+	// named peer. With no peers the client behaves as a single-node
+	// client.
+	Peers []string
 	// Tenant is sent as X-Tenant.
 	Tenant string
 	// HTTP is the underlying client (http.DefaultClient when nil).
@@ -56,9 +64,13 @@ type Client struct {
 	Resumes atomic.Int64
 	// Retries counts all re-connection attempts after the first.
 	Retries atomic.Int64
-	// Restarts counts forced session restarts (409 responses and
-	// in-stream restart records).
+	// Restarts counts forced session restarts (409 responses after every
+	// base refused, in-stream restart records, and resumed sessions the
+	// server could only start from scratch).
 	Restarts atomic.Int64
+	// Failovers counts attempts sent to a different base than the
+	// previous attempt (rotation or a moved record).
+	Failovers atomic.Int64
 }
 
 func (c *Client) http() *http.Client {
@@ -75,6 +87,18 @@ func (c *Client) chunk() int {
 	return 4096
 }
 
+// bases returns the ordered base URLs to try: the primary, then the
+// peers. Recomputed per attempt because URL may be repointed between
+// attempts by a chaos harness.
+func (c *Client) bases() []string {
+	out := make([]string, 0, 1+len(c.Peers))
+	out = append(out, strings.TrimRight(c.URL(), "/"))
+	for _, p := range c.Peers {
+		out = append(out, strings.TrimRight(p, "/"))
+	}
+	return out
+}
+
 // StreamResult is the outcome of one completed stream session.
 type StreamResult struct {
 	Session string
@@ -84,10 +108,14 @@ type StreamResult struct {
 }
 
 // Stream runs input through app as one session, surviving sheds,
-// suspends, disconnects, and server restarts, and returns the exactly-
-// once report stream. A 409 from the server restarts the session from
-// scratch with local state discarded (the stream stays exactly-once from
-// the caller's view because everything is dropped together).
+// suspends, disconnects, server restarts, migrations, and node loss,
+// and returns the exactly-once report stream. A `moved` record sends
+// the next attempt to the named peer; connect failures, mid-stream
+// breaks, and 503s rotate through the peer list, resuming the session
+// from the client's delivery floor on whichever node holds (or was
+// shipped) its slots. A 409 restarts the session from scratch with
+// local state discarded — but only after every base refused, since a
+// 409 can be node-specific (a peer with a different app build).
 func (c *Client) Stream(ctx context.Context, appName string, input []byte) (*StreamResult, error) {
 	id := newSessionID()
 	backoff := c.Backoff
@@ -100,6 +128,10 @@ func (c *Client) Stream(ctx context.Context, appName string, input []byte) (*Str
 	}
 	var have []sim.Report
 	restart := false
+	baseIdx := 0 // rotation cursor into bases()
+	moved := ""  // non-empty: a moved record named the next base
+	prevBase := ""
+	conflicts := 0 // consecutive 409s this rotation round
 
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
@@ -116,24 +148,61 @@ func (c *Client) Stream(ctx context.Context, appName string, input []byte) (*Str
 		if restart {
 			have = have[:0]
 		}
-		res, state, err := c.streamAttempt(ctx, appName, id, input, have, restart)
-		if err != nil {
+		bases := c.bases()
+		base := moved
+		if base == "" {
+			base = bases[baseIdx%len(bases)]
+		}
+		failover := prevBase != "" && base != prevBase
+		if failover {
+			c.Failovers.Add(1)
+		}
+		prevBase = base
+		ar := c.streamAttempt(ctx, base, appName, id, input, have, restart, failover)
+		have = ar.have
+		restart = false
+		if ar.err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
-			continue // connection-level failure: retry
+			// Connection-level failure: the node may be gone; rotate.
+			moved = ""
+			baseIdx++
+			continue
 		}
-		have = state
-		switch res {
+		if ar.out != attemptRestart {
+			conflicts = 0
+		}
+		switch ar.out {
 		case attemptDone:
 			return &StreamResult{Session: id, Reports: have}, nil
+		case attemptMoved:
+			moved = ar.moved // reconnect where the session went
 		case attemptShed:
 			c.Sheds.Add(1)
+			if ar.status == http.StatusServiceUnavailable {
+				// Node-level pressure or drain: a sibling may have room.
+				moved = ""
+				baseIdx++
+			} // 429 is this tenant's rate limit: same everywhere, just wait
 		case attemptRestart:
+			if conflicts+1 < len(bases) {
+				// This node refused to resume; another may hold the
+				// session's slots (replication, migration). Keep the
+				// local reports and try it before giving up on them.
+				conflicts++
+				moved = ""
+				baseIdx++
+				continue
+			}
 			c.Restarts.Add(1)
 			restart = true
-		case attemptSuspend, attemptBroken:
-			restart = false
+			conflicts = 0
+		case attemptSuspend:
+			// Drain: reconnect to the same base (its successor process).
+		case attemptBroken:
+			moved = ""
+			baseIdx++
 		}
 	}
 	return nil, fmt.Errorf("serve: stream %s gave up after %d attempts", id, maxAttempts)
@@ -147,17 +216,27 @@ const (
 	attemptSuspend
 	attemptBroken
 	attemptRestart
+	attemptMoved
 )
 
-// streamAttempt makes one connection and runs it until end, suspend, or
-// failure, returning the updated report list.
-func (c *Client) streamAttempt(ctx context.Context, appName, id string, input []byte, have []sim.Report, restart bool) (attemptOutcome, []sim.Report, error) {
+// attemptResult is one connection attempt's outcome.
+type attemptResult struct {
+	out    attemptOutcome
+	have   []sim.Report // updated report list
+	moved  string       // base URL from a moved record (out == attemptMoved)
+	status int          // HTTP status of a shed (0 otherwise)
+	err    error
+}
+
+// streamAttempt makes one connection to base and runs it until end,
+// suspend, moved, or failure, returning the updated report list.
+func (c *Client) streamAttempt(ctx context.Context, base, appName, id string, input []byte, have []sim.Report, restart, failover bool) attemptResult {
 	pr, pw := io.Pipe()
 	defer pr.Close()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.URL()+"/v1/stream?app="+appName, pr)
+		base+"/v1/stream?app="+appName, pr)
 	if err != nil {
-		return attemptBroken, have, err
+		return attemptResult{out: attemptBroken, have: have, err: err}
 	}
 	if c.Tenant != "" {
 		req.Header.Set("X-Tenant", c.Tenant)
@@ -167,36 +246,43 @@ func (c *Client) streamAttempt(ctx context.Context, appName, id string, input []
 	if restart {
 		req.Header.Set("X-Restart", "1")
 	}
+	if failover {
+		req.Header.Set("X-Failover", "1")
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		pw.CloseWithError(err)
-		return attemptBroken, have, err
+		return attemptResult{out: attemptBroken, have: have, err: err}
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		pw.CloseWithError(io.ErrClosedPipe)
-		return attemptShed, have, nil
+		return attemptResult{out: attemptShed, have: have, status: resp.StatusCode}
 	case http.StatusConflict:
 		pw.CloseWithError(io.ErrClosedPipe)
-		return attemptRestart, have, nil
+		return attemptResult{out: attemptRestart, have: have}
 	default:
 		pw.CloseWithError(io.ErrClosedPipe)
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return attemptBroken, have, fmt.Errorf("serve: stream status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		return attemptResult{out: attemptBroken, have: have,
+			err: fmt.Errorf("serve: stream status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))}
 	}
 	resumePos, _ := strconv.ParseInt(resp.Header.Get("X-Resume-Pos"), 10, 64)
 	if resumePos < 0 || resumePos > int64(len(input)) {
 		pw.CloseWithError(io.ErrClosedPipe)
-		return attemptBroken, have, fmt.Errorf("serve: bad resume pos %d", resumePos)
+		return attemptResult{out: attemptBroken, have: have, err: fmt.Errorf("serve: bad resume pos %d", resumePos)}
 	}
 	if resumePos > 0 {
 		c.Resumes.Add(1)
 	} else if len(have) > 0 {
 		// A session starting at position 0 re-delivers every report (a
 		// non-resumable server restarted, or the slot is gone): drop the
-		// local copies so the assembled stream stays exactly-once.
+		// local copies so the assembled stream stays exactly-once. This
+		// is the explicit degradation path — counted as a restart, never
+		// silent.
+		c.Restarts.Add(1)
 		have = have[:0]
 	}
 
@@ -234,7 +320,7 @@ func (c *Client) streamAttempt(ctx context.Context, appName, id string, input []
 			// parses as a valid-looking but wrong report — so only
 			// newline-terminated lines count; the fragment is discarded
 			// and the resume replays that report in full.
-			return attemptBroken, have, nil
+			return attemptResult{out: attemptBroken, have: have}
 		}
 		fields := strings.Fields(line)
 		if len(fields) == 0 {
@@ -243,31 +329,37 @@ func (c *Client) streamAttempt(ctx context.Context, appName, id string, input []
 		switch fields[0] {
 		case "r":
 			if len(fields) != 3 {
-				return attemptBroken, have, fmt.Errorf("serve: malformed report %q", strings.TrimSpace(line))
+				return attemptResult{out: attemptBroken, have: have, err: fmt.Errorf("serve: malformed report %q", strings.TrimSpace(line))}
 			}
 			pos, perr := strconv.ParseInt(fields[1], 10, 64)
 			state, serr := strconv.ParseInt(fields[2], 10, 64)
 			if perr != nil || serr != nil {
-				return attemptBroken, have, fmt.Errorf("serve: malformed report %q", strings.TrimSpace(line))
+				return attemptResult{out: attemptBroken, have: have, err: fmt.Errorf("serve: malformed report %q", strings.TrimSpace(line))}
 			}
 			have = append(have, sim.Report{Pos: pos, State: automata.StateID(state)})
 		case "suspend":
-			return attemptSuspend, have, nil
+			return attemptResult{out: attemptSuspend, have: have}
 		case "restart":
 			// The server cannot resume this session (no durable store
 			// behind it): reconnect from scratch.
-			return attemptRestart, have, nil
+			return attemptResult{out: attemptRestart, have: have}
+		case "moved":
+			// The session was handed to a peer: reconnect there.
+			if len(fields) != 3 {
+				return attemptResult{out: attemptBroken, have: have, err: fmt.Errorf("serve: malformed moved record %q", strings.TrimSpace(line))}
+			}
+			return attemptResult{out: attemptMoved, have: have, moved: strings.TrimRight(fields[1], "/")}
 		case "end":
 			if len(fields) == 3 {
 				n, nerr := strconv.ParseInt(fields[2], 10, 64)
 				if nerr != nil {
-					return attemptBroken, have, fmt.Errorf("serve: malformed end record %q", strings.TrimSpace(line))
+					return attemptResult{out: attemptBroken, have: have, err: fmt.Errorf("serve: malformed end record %q", strings.TrimSpace(line))}
 				}
 				if n != int64(len(have)) {
-					return attemptBroken, have, fmt.Errorf("serve: end declares %d reports, client holds %d", n, len(have))
+					return attemptResult{out: attemptBroken, have: have, err: fmt.Errorf("serve: end declares %d reports, client holds %d", n, len(have))}
 				}
 			}
-			return attemptDone, have, nil
+			return attemptResult{out: attemptDone, have: have}
 		}
 	}
 }
@@ -275,10 +367,27 @@ func (c *Client) streamAttempt(ctx context.Context, appName, id string, input []
 // Match runs one /v1/match request. Shed responses return shed=true with
 // a nil result and no error; retryAfter carries the server's Retry-After
 // delay (zero when absent) so callers can back off at the rate the
-// server asked for.
+// server asked for. With peers configured, a base that cannot be reached
+// at all is skipped and the next one tried — one-shot matches are
+// stateless, so any node can serve them.
 func (c *Client) Match(ctx context.Context, appName string, input []byte) (res *matchResponse, shed bool, retryAfter time.Duration, err error) {
+	bases := c.bases()
+	for i, base := range bases {
+		res, shed, retryAfter, err = c.matchOnce(ctx, base, appName, input)
+		var ue *url.Error
+		if err != nil && errors.As(err, &ue) && ctx.Err() == nil && i+1 < len(bases) {
+			c.Failovers.Add(1)
+			continue
+		}
+		return res, shed, retryAfter, err
+	}
+	return res, shed, retryAfter, err
+}
+
+// matchOnce runs one /v1/match request against one base.
+func (c *Client) matchOnce(ctx context.Context, base, appName string, input []byte) (res *matchResponse, shed bool, retryAfter time.Duration, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.URL()+"/v1/match?app="+appName, strings.NewReader(string(input)))
+		base+"/v1/match?app="+appName, strings.NewReader(string(input)))
 	if err != nil {
 		return nil, false, 0, err
 	}
@@ -314,6 +423,9 @@ func (c *Client) Match(ctx context.Context, appName string, input []byte) (res *
 type LoadgenOptions struct {
 	// URL is the server base URL (e.g. "http://127.0.0.1:8425").
 	URL string
+	// Peers are alternate server base URLs clients fail over to (and
+	// follow moved records to) when the primary dies mid-run.
+	Peers []string
 	// Apps are workload abbreviations to exercise (default HM, PEN, TCP).
 	Apps []string
 	// AppConfig scales the generated workloads; must match the server's.
@@ -377,6 +489,8 @@ type BenchServe struct {
 	Sheds          int64 `json:"sheds"`
 	Resumes        int64 `json:"resumes"`
 	Retries        int64 `json:"retries"`
+	Restarts       int64 `json:"restarts"`
+	Failovers      int64 `json:"failovers"`
 	OverloadShed   int64 `json:"overloadShed"`
 	OverloadOK     int64 `json:"overloadAccepted"`
 	FailedAccepted int64 `json:"failedAccepted"`
@@ -433,13 +547,15 @@ func RunLoadgen(ctx context.Context, o LoadgenOptions) (*BenchServe, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			sc := &Client{URL: cl.URL, Tenant: j.tenant, Pace: o.Pace}
+			sc := &Client{URL: cl.URL, Peers: o.Peers, Tenant: j.tenant, Pace: o.Pace}
 			res, err := sc.Stream(ctx, j.c.abbr, j.c.input)
 			mu.Lock()
 			defer mu.Unlock()
 			bench.Sheds += sc.Sheds.Load()
 			bench.Resumes += sc.Resumes.Load()
 			bench.Retries += sc.Retries.Load()
+			bench.Restarts += sc.Restarts.Load()
+			bench.Failovers += sc.Failovers.Load()
 			if err != nil {
 				if firstErr == nil {
 					firstErr = err
@@ -469,10 +585,37 @@ func RunLoadgen(ctx context.Context, o LoadgenOptions) (*BenchServe, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			c := cases[i%len(cases)]
-			mc := &Client{URL: cl.URL, Tenant: fmt.Sprintf("tenant-%d", i%o.Tenants)}
+			mc := &Client{URL: cl.URL, Peers: o.Peers, Tenant: fmt.Sprintf("tenant-%d", i%o.Tenants)}
 			input := c.input
 			if len(input) > 16384 {
 				input = input[:16384]
+			}
+			// Jittered exponential backoff with a ceiling: each retry at
+			// least doubles the floor (so a persistently shedding server
+			// sees geometrically decaying pressure instead of a fixed-rate
+			// hammer), the server's Retry-After raises but never lowers a
+			// given wait, ±50% jitter de-synchronizes the worker herd, and
+			// 2s caps the whole ladder.
+			const backoffCeil = 2 * time.Second
+			backoff := 20 * time.Millisecond
+			wait := func(floor time.Duration) bool {
+				delay := backoff
+				if floor > delay {
+					delay = floor
+				}
+				if delay > backoffCeil {
+					delay = backoffCeil
+				}
+				delay = delay/2 + time.Duration(rand.Int63n(int64(delay)))
+				if backoff < backoffCeil {
+					backoff *= 2
+				}
+				select {
+				case <-time.After(delay):
+					return true
+				case <-ctx.Done():
+					return false
+				}
 			}
 			for {
 				start := time.Now()
@@ -482,20 +625,10 @@ func RunLoadgen(ctx context.Context, o LoadgenOptions) (*BenchServe, error) {
 				if shed {
 					bench.Sheds++
 					mu.Unlock()
-					// Back off for as long as the server asked (capped),
-					// falling back to a short delay when it said nothing.
-					delay := retryAfter
-					if delay <= 0 {
-						delay = 20 * time.Millisecond
-					} else if delay > 2*time.Second {
-						delay = 2 * time.Second
-					}
-					select {
-					case <-time.After(delay):
-						continue
-					case <-ctx.Done():
+					if !wait(retryAfter) {
 						return
 					}
+					continue
 				}
 				if err != nil {
 					// Transport-level failures are transient under chaos
@@ -505,12 +638,10 @@ func RunLoadgen(ctx context.Context, o LoadgenOptions) (*BenchServe, error) {
 					if errors.As(err, &ue) && ctx.Err() == nil {
 						bench.Retries++
 						mu.Unlock()
-						select {
-						case <-time.After(20 * time.Millisecond):
-							continue
-						case <-ctx.Done():
+						if !wait(0) {
 							return
 						}
+						continue
 					}
 					if firstErr == nil {
 						firstErr = err
@@ -520,6 +651,7 @@ func RunLoadgen(ctx context.Context, o LoadgenOptions) (*BenchServe, error) {
 				}
 				lat = append(lat, float64(elapsed.Microseconds())/1000)
 				bench.MatchAccepted++
+				bench.Failovers += mc.Failovers.Swap(0)
 				mu.Unlock()
 				return
 			}
@@ -550,13 +682,13 @@ func RunLoadgen(ctx context.Context, o LoadgenOptions) (*BenchServe, error) {
 			go func(i int) {
 				defer owg.Done()
 				oc := &Client{URL: cl.URL, Tenant: "burst", Chunk: 1024, Pace: 500 * time.Microsecond}
-				out, reports, err := oc.streamAttempt(ctx, c.abbr, newSessionID(), input, nil, false)
+				ar := oc.streamAttempt(ctx, oc.bases()[0], c.abbr, newSessionID(), input, nil, false, false)
 				mu.Lock()
 				defer mu.Unlock()
 				switch {
-				case out == attemptShed:
+				case ar.out == attemptShed:
 					bench.OverloadShed++
-				case out == attemptDone && err == nil && sameReports(reports, truncated) == nil:
+				case ar.out == attemptDone && ar.err == nil && sameReports(ar.have, truncated) == nil:
 					bench.OverloadOK++
 				default:
 					// Accepted (or mid-flight) and then failed: the exact

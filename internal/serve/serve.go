@@ -48,6 +48,7 @@ import (
 	"sparseap/internal/checkpoint"
 	"sparseap/internal/hotcold"
 	"sparseap/internal/metrics"
+	"sparseap/internal/replica"
 	"sparseap/internal/sim"
 	"sparseap/internal/spap"
 	"sparseap/internal/worstcase"
@@ -58,8 +59,11 @@ import (
 type Config struct {
 	// Store is the durable checkpoint store backing session resume; nil
 	// disables resumability (sessions still stream, but a crash loses
-	// them).
-	Store *checkpoint.Store
+	// them). A replica.Store here extends the delivery barrier across
+	// nodes: reports release only once the covering window is durable on
+	// the replication quorum, so a client can fail over to a follower
+	// without replay divergence.
+	Store checkpoint.Store
 	// Every is the checkpoint capture interval in input symbols
 	// (default 8192). It is also the report-delivery granularity: reports
 	// are released to the client only once the checkpoint covering them
@@ -103,6 +107,14 @@ type Config struct {
 	// with BatchStreams > 1).
 	BatchWindow time.Duration
 
+	// Peers are base URLs of sibling serve nodes (e.g.
+	// "http://10.0.0.2:8425"): migration targets for /v1/migrate and
+	// DrainMigrate, health-watched with hysteresis (see cluster.go). An
+	// empty list disables the peer watcher.
+	Peers []string
+	// ProbeInterval is how often peers are health-probed (default 500ms).
+	ProbeInterval time.Duration
+
 	// Registry receives the serve-path counters; New creates one when
 	// nil.
 	Registry *metrics.Registry
@@ -138,6 +150,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchStreams > 1 && c.BatchWindow <= 0 {
 		c.BatchWindow = defaultBatchWindow
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
 	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
@@ -224,6 +239,12 @@ type Server struct {
 	batchStopped bool
 	batchWG      sync.WaitGroup
 
+	peers       []*peer       // watched migration targets (see cluster.go)
+	peerStop    chan struct{} // closed by stopPeers
+	peerStopped bool
+	peerWG      sync.WaitGroup
+	peerNext    int // round-robin cursor for upPeer
+
 	hsMu sync.Mutex
 	hs   *http.Server
 }
@@ -245,8 +266,10 @@ func New(cfg Config) *Server {
 
 		batchers:  map[string]*batcher{},
 		batchStop: make(chan struct{}),
+		peerStop:  make(chan struct{}),
 	}
 	s.idle.L = &s.mu
+	s.startPeerWatch()
 	return s
 }
 
@@ -284,6 +307,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/apps", s.handleApps)
+	mux.HandleFunc("POST /v1/migrate", s.handleMigrate)
+	mux.HandleFunc("POST /v1/migrate/accept", s.handleMigrateAccept)
+	if s.cfg.Store != nil {
+		// Follower side of checkpoint shipping: shipments apply through
+		// the LOCAL store so a received slot is never relayed onward.
+		replica.NewReceiver(s.localStore(), s.reg).Mount(mux)
+	}
 	return mux
 }
 
@@ -342,6 +372,7 @@ func (s *Server) Drain(timeout time.Duration) error {
 	// Sessions have unwound (or timed out), so no match request can be in
 	// a batch lane; stop the batcher workers before returning.
 	s.stopBatchers()
+	s.stopPeers()
 	if stranded > 0 {
 		return fmt.Errorf("serve: drain timed out with %d sessions still live", stranded)
 	}
@@ -369,6 +400,7 @@ func (s *Server) Abort() {
 	// Batcher workers see the kill at their next check tick, retire every
 	// in-flight lane with a 503, and exit.
 	s.stopBatchers()
+	s.stopPeers()
 }
 
 // killed reports whether Abort has fired.

@@ -262,12 +262,12 @@ func TestStreamClientDiscardsTruncatedLine(t *testing.T) {
 	defer ts.Close()
 
 	cl := &Client{URL: func() string { return ts.URL }}
-	out, reports, _ := cl.streamAttempt(context.Background(), "test", newSessionID(), testInput(64), nil, false)
-	if out != attemptBroken {
-		t.Fatalf("truncated stream outcome = %d, want attemptBroken", out)
+	ar := cl.streamAttempt(context.Background(), ts.URL, "test", newSessionID(), testInput(64), nil, false, false)
+	if ar.out != attemptBroken {
+		t.Fatalf("truncated stream outcome = %d, want attemptBroken", ar.out)
 	}
-	if len(reports) != 1 || reports[0] != (sim.Report{Pos: 10, State: 1}) {
-		t.Fatalf("truncated fragment parsed as a report: %+v", reports)
+	if len(ar.have) != 1 || ar.have[0] != (sim.Report{Pos: 10, State: 1}) {
+		t.Fatalf("truncated fragment parsed as a report: %+v", ar.have)
 	}
 }
 
@@ -579,9 +579,10 @@ func TestOverloadShedsNotFails(t *testing.T) {
 			// CPU and the concurrency caps genuinely engage.
 			cl := &Client{URL: func() string { return h.ts.URL }, Tenant: fmt.Sprintf("t%d", i%4),
 				Chunk: 1024, Pace: 500 * time.Microsecond}
-			out, reports, err := cl.streamAttempt(context.Background(), "test", newSessionID(), input, nil, false)
+			ar := cl.streamAttempt(context.Background(), h.ts.URL, "test", newSessionID(), input, nil, false, false)
+			out, err := ar.out, ar.err
 			if out == attemptDone && err == nil {
-				err = sameReports(reports, want)
+				err = sameReports(ar.have, want)
 			}
 			results <- outcome{out: out, err: err}
 		}(i)

@@ -10,12 +10,17 @@
 //	suspend <pos>      server is draining; reconnect and resume
 //	restart <pos>      server cannot resume (no store); reconnect and
 //	                   restart from scratch, discarding local reports
+//	moved <addr> <pos> session handed to the peer at base URL <addr>;
+//	                   reconnect THERE with X-Session and X-Have-Reports
+//	                   and the stream resumes bit-identically
 //	end <pos> <n>      stream complete after pos symbols, n reports total
 //
 // Request headers: X-Tenant, X-Session (resume an existing session),
 // X-Have-Reports (how many reports the client retains), X-Restart
-// (discard server-side state), X-Deadline-Ms. Response headers:
-// X-Session (assigned ID), X-Resume-Pos (input offset to send from).
+// (discard server-side state), X-Deadline-Ms, X-Failover (set to 1 when
+// the client switched nodes since its last attempt — counted, not acted
+// on). Response headers: X-Session (assigned ID), X-Resume-Pos (input
+// offset to send from).
 //
 // # Exactly-once delivery
 //
@@ -49,6 +54,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"sparseap/internal/automata"
@@ -81,6 +87,10 @@ type session struct {
 	enc  checkpoint.Enc // reused encode buffer
 
 	drainCh chan struct{}
+
+	moveMu   sync.Mutex
+	moveTo   string     // peer to hand off to ("" = no move requested)
+	moveDone chan error // outcome channel a migrate caller waits on
 }
 
 // requestDrain asks the session to checkpoint, suspend, and unwind.
@@ -99,6 +109,38 @@ func (sess *session) draining() bool {
 		return true
 	default:
 		return false
+	}
+}
+
+// requestMove asks the session to hand itself to the peer at to; the
+// stream loop performs the transfer at its next boundary. done (may be
+// nil) receives the outcome. First request wins.
+func (sess *session) requestMove(to string, done chan error) {
+	sess.moveMu.Lock()
+	if sess.moveTo == "" {
+		sess.moveTo = to
+		sess.moveDone = done
+	} else if done != nil {
+		done <- fmt.Errorf("serve: move already in progress")
+	}
+	sess.moveMu.Unlock()
+}
+
+// moveTarget returns the requested handoff target, or "".
+func (sess *session) moveTarget() string {
+	sess.moveMu.Lock()
+	defer sess.moveMu.Unlock()
+	return sess.moveTo
+}
+
+// finishMove delivers the handoff outcome to a waiting migrate caller.
+func (sess *session) finishMove(err error) {
+	sess.moveMu.Lock()
+	done := sess.moveDone
+	sess.moveDone = nil
+	sess.moveMu.Unlock()
+	if done != nil {
+		done <- err
 	}
 }
 
@@ -249,6 +291,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// until it sees the response. Connection: close skips the drain.
 	w.Header().Set("Connection", "close")
 	tenant := tenantName(r.Header)
+	if r.Header.Get("X-Failover") == "1" {
+		s.reg.Counter("serve_failovers").Inc()
+	}
 	a := s.lookupApp(r.URL.Query().Get("app"))
 	if a == nil {
 		http.Error(w, "unknown app", http.StatusNotFound)
@@ -279,7 +324,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "session busy", http.StatusConflict)
 		return
 	}
-	defer s.unregisterSession(id)
+	defer func() {
+		s.unregisterSession(id)
+		// A migrate request can land just as this stream unwinds; its
+		// requestMove would otherwise park a waiter forever. finishMove
+		// is idempotent, so a handoff that already answered is a no-op.
+		sess.finishMove(errors.New("serve: session ended before handoff"))
+	}()
 
 	// Deadline propagation: the header deadline joins the request
 	// context (which already cancels on client disconnect) and reaches
@@ -411,6 +462,22 @@ func (s *Server) streamLoop(ctx context.Context, w http.ResponseWriter, rc *http
 	for {
 		if s.killed() {
 			return // crash semantics: no save, the last capture stands
+		}
+		if to := sess.moveTarget(); to != "" {
+			// Handoff boundary: make the window durable and released
+			// (exactly as a periodic capture would), then transfer the
+			// slots and point the client at the peer.
+			if !resumable {
+				sess.finishMove(errors.New("serve: not resumable, cannot migrate"))
+				suspend("drain")
+				return
+			}
+			if err := s.saveFlush(w, rc, sess, resumable); err != nil {
+				sess.finishMove(err)
+				return
+			}
+			s.migrateOut(w, rc, sess, to)
+			return
 		}
 		if sess.draining() {
 			suspend("drain")

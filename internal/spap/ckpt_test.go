@@ -121,7 +121,7 @@ func seededKills(t *testing.T, nKills int, probe func(ck *checkpoint.Runner) err
 // runUntilDone drives a checkpointed run through its kill schedule,
 // re-invoking after each injected crash until it completes. It returns
 // the final result and the phases the run resumed into.
-func runUntilDone(t *testing.T, sched *killSched, store *checkpoint.Store, every int64,
+func runUntilDone(t *testing.T, sched *killSched, store checkpoint.Store, every int64,
 	run func(ck *checkpoint.Runner) (*Result, error)) (*Result, []string) {
 	t.Helper()
 	var phases []string

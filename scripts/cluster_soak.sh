@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Cluster soak: node loss across a real process boundary. Node A
+# replicates every committed checkpoint slot to follower B (ack quorum
+# 1, so reports release to clients only once B holds the covering
+# slot). A loadgen streams every app through A with B as a failover
+# peer while this harness SIGKILLs A mid-stream — and never restarts
+# it. The clients must fail over to B, resume from the replicated
+# slots, and verify every completed stream bit-identical against an
+# uninterrupted local run, with zero forced restarts. The in-process
+# equivalent (Server.Abort) lives in chaos_test.go
+# (TestChaosServeClusterFailover).
+#
+#   scripts/cluster_soak.sh          # default app set (HM PEN TCP)
+#   scripts/cluster_soak.sh HM       # explicit app list (smoke: one app)
+#
+# Environment knobs:
+#   CLUSTER_SOAK_PORT_A   node A listen port            (default 18427)
+#   CLUSTER_SOAK_PORT_B   node B listen port            (default 18428)
+#   CLUSTER_SOAK_DIVISOR  network scale divisor         (default 8)
+#   CLUSTER_SOAK_INPUT    input length in symbols       (default 131072)
+#   CLUSTER_SOAK_EVERY    checkpoint interval           (default 2048)
+#   CLUSTER_SOAK_STREAMS  verified streams per app      (default 2)
+#   CLUSTER_SOAK_PACE     per-chunk stream pacing       (default 20ms)
+#
+# The stream phase must outlast the 0.4s kill delay below: with the
+# loadgen's 4096-byte chunks, a stream takes (INPUT/4096)*PACE, so keep
+# that product comfortably above 0.4s when overriding INPUT or PACE.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+port_a=${CLUSTER_SOAK_PORT_A:-18427}
+port_b=${CLUSTER_SOAK_PORT_B:-18428}
+divisor=${CLUSTER_SOAK_DIVISOR:-8}
+input=${CLUSTER_SOAK_INPUT:-131072}
+every=${CLUSTER_SOAK_EVERY:-2048}
+streams=${CLUSTER_SOAK_STREAMS:-2}
+pace=${CLUSTER_SOAK_PACE:-20ms}
+apps=("$@")
+[[ ${#apps[@]} -eq 0 ]] && apps=(HM PEN TCP)
+applist=$(IFS=,; echo "${apps[*]}")
+url_a="http://127.0.0.1:$port_a"
+url_b="http://127.0.0.1:$port_b"
+
+work=$(mktemp -d)
+pid_a=""
+pid_b=""
+loadgen_pid=""
+cleanup() {
+    [[ -n "$pid_a" ]] && kill -9 "$pid_a" 2>/dev/null || true
+    [[ -n "$pid_b" ]] && kill -9 "$pid_b" 2>/dev/null || true
+    [[ -n "$loadgen_pid" ]] && kill "$loadgen_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+apserve="$work/apserve"
+go build -o "$apserve" ./cmd/apserve
+
+# The loadgen rebuilds each app locally to verify streams, so the scale
+# flags must be identical on every node and the loadgen.
+common=(-apps "$applist" -divisor "$divisor" -input "$input")
+
+wait_ready() { # url pid log label
+    for _ in $(seq 100); do
+        if curl -fsS -o /dev/null "$1/healthz" 2>/dev/null; then
+            return 0
+        fi
+        if ! kill -0 "$2" 2>/dev/null; then
+            echo "cluster_soak: node $4 died during startup:" >&2
+            tail -5 "$3" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "cluster_soak: node $4 never became ready on $1" >&2
+    exit 1
+}
+
+# Follower first: A's first replicated save must find B listening.
+"$apserve" "${common[@]}" -addr "127.0.0.1:$port_b" \
+    -store "$work/store_b" -every "$every" >>"$work/server_b.log" 2>&1 &
+pid_b=$!
+disown "$pid_b"
+wait_ready "$url_b" "$pid_b" "$work/server_b.log" B
+
+"$apserve" "${common[@]}" -addr "127.0.0.1:$port_a" \
+    -store "$work/store_a" -every "$every" \
+    -peers "$url_b" -replicas "$url_b" -ack 1 >>"$work/server_a.log" 2>&1 &
+pid_a=$!
+disown "$pid_a" # keep job control quiet about the SIGKILL
+wait_ready "$url_a" "$pid_a" "$work/server_a.log" A
+
+# Stream phase is paced so it is still in flight when A dies; the match
+# phase afterwards rides the same failover path to B.
+"$apserve" -loadgen -url "$url_a" -peers "$url_b" "${common[@]}" \
+    -streams "$streams" -requests 16 -overload 0 -pace "$pace" \
+    >"$work/loadgen.log" 2>&1 &
+loadgen_pid=$!
+
+sleep 0.4
+if ! kill -0 "$loadgen_pid" 2>/dev/null; then
+    echo "cluster_soak: loadgen finished before the kill could land" >&2
+    echo "cluster_soak: raise CLUSTER_SOAK_PACE or CLUSTER_SOAK_INPUT" >&2
+    exit 1
+fi
+kill -9 "$pid_a" 2>/dev/null || true
+wait "$pid_a" 2>/dev/null || true
+pid_a="" # A stays dead: survival must come from B's replicated slots
+
+status=0
+wait "$loadgen_pid" || status=$?
+loadgen_pid=""
+if (( status != 0 )); then
+    echo "cluster_soak: loadgen failed (exit $status):" >&2
+    tail -20 "$work/loadgen.log" >&2
+    exit 1
+fi
+
+# The loadgen prints "... (N resumes, M retries, K sheds, F failovers,
+# R restarts)"; losing A mid-stream must force failovers, and the
+# replicated slots must make every one a seamless resume (no restarts).
+failovers=$(grep -o '[0-9]* failovers' "$work/loadgen.log" | head -1 | cut -d' ' -f1)
+restarts=$(grep -o '[0-9]* restarts' "$work/loadgen.log" | head -1 | cut -d' ' -f1)
+if [[ -z "$failovers" || "$failovers" -eq 0 ]]; then
+    echo "cluster_soak: node A was killed but no client ever failed over:" >&2
+    cat "$work/loadgen.log" >&2
+    exit 1
+fi
+if [[ -z "$restarts" || "$restarts" -ne 0 ]]; then
+    echo "cluster_soak: $restarts forced restarts — replication failed to carry the sessions:" >&2
+    cat "$work/loadgen.log" >&2
+    exit 1
+fi
+
+grep 'streams verified' "$work/loadgen.log"
+echo "cluster_soak: apps=$applist: node A SIGKILLed, $failovers failovers, 0 restarts, streams identical"

@@ -9,6 +9,7 @@ import (
 	"context"
 
 	"sparseap/internal/metrics"
+	"sparseap/internal/replica"
 	"sparseap/internal/serve"
 	"sparseap/internal/spap"
 )
@@ -41,11 +42,25 @@ type (
 	// GuardLadder tracks one tenant's position on the degradation ladder
 	// (guarded -> baseline -> probe -> guarded).
 	GuardLadder = spap.Ladder
+	// ReplicatedStore wraps a local checkpoint store and ships every
+	// committed slot to follower nodes, extending the save-then-flush
+	// delivery barrier across the cluster (internal/replica).
+	ReplicatedStore = replica.Store
+	// ReplicaOptions tunes a ReplicatedStore (followers, ack quorum,
+	// timeouts, hysteresis).
+	ReplicaOptions = replica.Options
 )
 
 // NewMatchServer builds a match server; make applications resident with
 // AddApp, then Serve/ListenAndServe.
 func NewMatchServer(cfg ServeConfig) *MatchServer { return serve.New(cfg) }
+
+// NewReplicatedStore wraps a local checkpoint store with follower
+// shipping; pass it as ServeConfig.Store to make sessions survive node
+// loss.
+func NewReplicatedStore(local SlotStore, o ReplicaOptions) *ReplicatedStore {
+	return replica.New(local, o)
+}
 
 // NewMetricsRegistry builds an empty counter registry.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
